@@ -1,0 +1,52 @@
+"""Ablation — "the most appropriate solver for a given task" (abstract).
+
+The same FISCHER instance is solved with the generic exact simplex (the
+paper's COIN role) and with the difference-logic specialist (Bellman–Ford).
+Verdicts and Boolean iteration counts are identical — only the per-check
+theory cost changes — which is precisely ABsolver's reuse-of-expert-
+knowledge pitch, and the justification for using the specialist in the
+Table 2 harness (see EXPERIMENTS.md).
+"""
+
+import time
+
+import pytest
+
+from repro.benchgen import fischer_problem
+from repro.core import ABSolver, ABSolverConfig
+
+from conftest import register_report, report_rows
+
+_measured = {}
+
+_N = 3  # large enough to show the gap, small enough for the simplex
+
+
+@pytest.mark.parametrize("linear", ["simplex", "difference"])
+def bench_ablation_linear_engine(benchmark, linear):
+    def run():
+        result = ABSolver(ABSolverConfig(linear=linear)).solve(fischer_problem(_N))
+        assert result.is_sat
+        return result
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[linear] = (time.perf_counter() - started, result.stats.boolean_queries)
+
+
+def _report():
+    rows = [
+        [engine, f"{data[0]:.3f}s", data[1]]
+        for engine, data in sorted(_measured.items())
+    ]
+    report_rows(
+        f"Ablation: linear engines on FISCHER{_N} (same verdict, same iterations)",
+        ["linear engine", "time", "boolean iterations"],
+        rows,
+    )
+    if {"simplex", "difference"} <= set(_measured):
+        assert _measured["simplex"][1] == _measured["difference"][1]
+        assert _measured["difference"][0] < _measured["simplex"][0]
+
+
+register_report(_report)

@@ -1,0 +1,71 @@
+"""Ablation — substrate preprocessing (presolve + CNF preprocessing).
+
+Two further "expert knowledge" levers the registry exposes:
+
+* ``simplex-presolve`` — LP presolve (bound tightening, variable fixing,
+  redundancy removal) in front of the exact simplex; pays off on
+  machine-generated theory checks (the Sudoku check is mostly singleton
+  bound rows).
+* ``cdcl-pre`` — SatELite-style CNF preprocessing (unit propagation, pure
+  literals, subsumption, bounded variable elimination) in front of CDCL;
+  pays off on converter output full of functionally-defined variables.
+
+Shape assertions: identical verdicts, presolve at least as fast on the
+Sudoku workload.
+"""
+
+import time
+
+import pytest
+
+from repro.benchgen import steering_problem, sudoku_problem
+from repro.core import ABSolver, ABSolverConfig
+
+from conftest import register_report, report_rows
+
+_measured = {}
+
+_PUZZLE = "2006_05_29_easy"
+
+
+@pytest.mark.parametrize("linear", ["simplex", "simplex-presolve"])
+def bench_ablation_presolve_sudoku(benchmark, linear):
+    def run():
+        result = ABSolver(ABSolverConfig(boolean="lsat", linear=linear)).solve(
+            sudoku_problem(_PUZZLE)
+        )
+        assert result.is_sat
+        return result
+
+    started = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[("sudoku", linear)] = time.perf_counter() - started
+
+
+@pytest.mark.parametrize("boolean", ["cdcl", "cdcl-pre"])
+def bench_ablation_cnf_preprocessing_steering(benchmark, boolean):
+    def run():
+        result = ABSolver(ABSolverConfig(boolean=boolean)).solve(steering_problem())
+        assert result.is_sat
+        return result
+
+    started = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[("steering", boolean)] = time.perf_counter() - started
+
+
+def _report():
+    rows = [
+        [workload, engine, f"{seconds:.3f}s"]
+        for (workload, engine), seconds in sorted(_measured.items())
+    ]
+    report_rows(
+        "Ablation: substrate preprocessing (LP presolve, CNF preprocessing)",
+        ["workload", "engine", "time"],
+        rows,
+    )
+    if ("sudoku", "simplex") in _measured and ("sudoku", "simplex-presolve") in _measured:
+        assert _measured[("sudoku", "simplex-presolve")] <= _measured[("sudoku", "simplex")] * 1.2
+
+
+register_report(_report)

@@ -1,0 +1,96 @@
+"""Ablation — conflict refinement (DESIGN.md design-choice study).
+
+The control loop can explain a theory conflict two ways:
+
+* IIS refinement (default): the linear solver's "smallest conflicting
+  subset" becomes a short blocking clause (paper, Sec. 4);
+* full blocking: negate the entire defined-variable assignment.
+
+On workloads with many irrelevant Boolean variables, short clauses prune
+exponentially more candidate assignments.  The bench measures both
+configurations on a FISCHER instance and on a synthetic wide-assignment
+conflict problem, and asserts the refined run never needs more Boolean
+iterations.
+"""
+
+import time
+
+import pytest
+
+from repro.benchgen import fischer_problem
+from repro.core import ABProblem, ABSolver, ABSolverConfig, parse_constraint
+
+from conftest import register_report, report_rows
+
+_measured = {}
+
+
+def _wide_conflict_problem():
+    """One linear conflict hidden among many free Boolean variables."""
+    problem = ABProblem(name="wide-conflict")
+    for var in range(1, 9):
+        problem.add_clause([var, var + 20])
+    problem.add_clause([30])
+    problem.add_clause([31])
+    problem.define(30, "real", parse_constraint("q >= 5"))
+    problem.define(31, "real", parse_constraint("q <= 3"))
+    return problem
+
+
+def _run(problem_factory, linear, refine):
+    problem = problem_factory()
+    solver = ABSolver(ABSolverConfig(linear=linear, refine_conflicts=refine))
+    result = solver.solve(problem)
+    return result
+
+
+@pytest.mark.parametrize("refine", [True, False], ids=["iis", "full-blocking"])
+def bench_ablation_refinement_fischer(benchmark, refine):
+    label = "iis" if refine else "full"
+    def run():
+        result = _run(lambda: fischer_problem(4), "difference", refine)
+        assert result.is_sat
+        return result
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[("fischer4", label)] = (
+        time.perf_counter() - started,
+        result.stats.boolean_queries,
+    )
+
+
+@pytest.mark.parametrize("refine", [True, False], ids=["iis", "full-blocking"])
+def bench_ablation_refinement_wide(benchmark, refine):
+    label = "iis" if refine else "full"
+
+    def run():
+        result = _run(_wide_conflict_problem, "simplex", refine)
+        assert result.is_unsat
+        return result
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[("wide", label)] = (
+        time.perf_counter() - started,
+        result.stats.boolean_queries,
+    )
+
+
+def _report():
+    rows = []
+    for workload in ("fischer4", "wide"):
+        for label in ("iis", "full"):
+            entry = _measured.get((workload, label))
+            if entry:
+                rows.append([workload, label, f"{entry[0]:.3f}s", entry[1]])
+    report_rows(
+        "Ablation: IIS conflict refinement vs full-assignment blocking",
+        ["workload", "blocking", "time", "boolean iterations"],
+        rows,
+    )
+    if ("wide", "iis") in _measured and ("wide", "full") in _measured:
+        assert _measured[("wide", "iis")][1] <= _measured[("wide", "full")][1]
+
+
+register_report(_report)

@@ -1,0 +1,110 @@
+"""Table 1 — "Results: nonlinear problems" (paper, Sec. 5.1).
+
+Four rows: the car-steering case study and three nonlinear micro
+benchmarks, each with its #Cl. / #Var. / #linear / #nonlin. columns and the
+ABsolver wall-clock.  The paper's comparative observation — "both CVC Lite
+and MathSAT rejected the problems due to the nonlinear arithmetic
+inequalities" — is asserted for every row that contains a nonlinear
+constraint.
+
+Expected shape vs the paper (absolute times differ: pure Python vs 2007
+C++): ABsolver solves all four; the steering row dominates the runtime
+column; the unsat row is answered UNSAT (not UNKNOWN); both baselines raise
+UnsupportedTheoryError.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import CVCLiteLikeSolver, MathSATLikeSolver
+from repro.benchgen import (
+    div_operator_problem,
+    esat_problem,
+    nonlinear_unsat_problem,
+    steering_problem,
+)
+from repro.core import ABSolver, ABSolverConfig
+from repro.core.interface import UnsupportedTheoryError
+
+from conftest import register_report, report_rows
+
+#: row label -> (factory, expected status, paper's reported runtime)
+ROWS = [
+    ("Car steering", steering_problem, "sat", "0m58.344s"),
+    ("esat_n11_m8_nonlinear", esat_problem, "sat", "0m0.469s"),
+    ("nonlinear_unsat", nonlinear_unsat_problem, "unsat", "0m0.260s"),
+    ("div_operator", div_operator_problem, "sat", "0m0.233s"),
+]
+
+_measured = {}
+
+
+def _solve(factory, expected):
+    problem = factory()
+    result = ABSolver(
+        ABSolverConfig(boolean="cdcl", linear="simplex", nonlinear=("newton", "auglag"))
+    ).solve(problem)
+    assert result.status.value == expected
+    if result.is_sat:
+        assert problem.check_model(result.model.boolean, result.model.theory)
+    return result
+
+
+@pytest.mark.parametrize("label,factory,expected,paper_time", ROWS)
+def bench_table1_absolver(benchmark, label, factory, expected, paper_time):
+    started = time.perf_counter()
+    benchmark.pedantic(_solve, args=(factory, expected), rounds=1, iterations=1)
+    _measured[label] = time.perf_counter() - started
+
+
+@pytest.mark.parametrize("label,factory,expected,paper_time", ROWS)
+def bench_table1_baselines_reject(benchmark, label, factory, expected, paper_time):
+    """CVC-Lite-like and MathSAT-like reject every nonlinear row
+    (measured: time-to-reject is effectively the parse cost)."""
+    problem = factory()
+    if not problem.nonlinear_definitions():
+        pytest.skip("row has no nonlinear constraints")
+
+    def run():
+        for baseline in (MathSATLikeSolver(), CVCLiteLikeSolver()):
+            with pytest.raises(UnsupportedTheoryError):
+                baseline.solve(problem)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _report():
+    """Emit the paper-vs-measured table at session teardown."""
+    rows = []
+    for label, factory, expected, paper_time in ROWS:
+        problem = factory()
+        stats = problem.stats()
+        measured = _measured.get(label)
+        rows.append(
+            [
+                label,
+                stats.num_clauses,
+                len(problem.definitions),
+                stats.num_linear,
+                stats.num_nonlinear,
+                f"{measured:.3f}s" if measured is not None else "-",
+                paper_time,
+                "rejected" if stats.num_nonlinear else "n/a",
+            ]
+        )
+    report_rows(
+        "Table 1: nonlinear problems",
+        ["Benchmark", "#Cl.", "#Def.", "#linear", "#nonlin.", "ABSOLVER (measured)", "ABSOLVER (paper)", "CVC/MathSAT"],
+        rows,
+    )
+    # Shape: every row solved with the expected verdict (asserted in the
+    # bench bodies) and each measured run stays within interactive range.
+    # (In the paper the steering row dominates at 58 s; our NLP finds the
+    # nominal operating point quickly, so all four rows land sub-second —
+    # recorded as a divergence in EXPERIMENTS.md.)
+    for label, seconds in _measured.items():
+        assert seconds < 60, (label, seconds)
+
+
+register_report(_report)

@@ -1,0 +1,87 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_table*.py`` file regenerates one table of the paper's
+evaluation (Sec. 5).  Rows are pytest-benchmark entries named after the
+paper's row labels; in addition, every module prints a side-by-side
+"paper vs measured" table at teardown so the comparison the paper makes is
+visible directly in the benchmark run output.
+
+Environment knobs:
+
+* ``REPRO_FISCHER_MAX_N`` (default 6) — largest FISCHER instance.
+* ``REPRO_SUDOKU_PUZZLES`` (default: all ten) — comma-separated puzzle ids.
+* ``REPRO_SKIP_SLOW_BASELINES`` — set to skip the bounded baseline probes.
+"""
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+__all__ = ["report_rows", "register_report"]
+
+_COLLECTED: List[Tuple[str, List[str]]] = []
+_REPORTERS: List = []
+
+
+def register_report(callback) -> None:
+    """Register a zero-arg callback building paper-vs-measured rows.
+
+    Callbacks run at session teardown, after all benches have filled their
+    module-level measurement dicts — this keeps the tables alive under
+    ``--benchmark-only``, which skips plain test functions.
+    """
+    _REPORTERS.append(callback)
+
+
+def report_rows(table: str, header: List[str], rows: List[List[str]]) -> None:
+    """Queue a formatted table for the end-of-session report."""
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))
+    ]
+
+    def fmt(row):
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [f"== {table} ==", fmt(header)] + [fmt(row) for row in rows]
+    _COLLECTED.append((table, lines))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_reproduction_tables():
+    yield
+    failures: List[str] = []
+    for callback in _REPORTERS:
+        try:
+            callback()
+        except AssertionError as error:
+            failures.append(f"{callback.__module__}: {error}")
+    if _COLLECTED:
+        chunks = ["#" * 72, "# Paper-vs-measured reproduction tables", "#" * 72]
+        for _, lines in _COLLECTED:
+            chunks.append("")
+            chunks.extend(lines)
+        report = "\n".join(chunks)
+        print("\n\n" + report)
+        # pytest captures the print unless -s is given; persist the tables
+        # so `pytest benchmarks/ --benchmark-only | tee ...` keeps them.
+        with open("reproduction_tables.txt", "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    assert not failures, "reproduction shape assertions failed: " + "; ".join(failures)
+
+
+def fischer_max_n() -> int:
+    return int(os.environ.get("REPRO_FISCHER_MAX_N", "6"))
+
+
+def sudoku_puzzle_ids() -> List[str]:
+    from repro.benchgen import PUZZLES
+
+    raw = os.environ.get("REPRO_SUDOKU_PUZZLES")
+    if raw:
+        return [p.strip() for p in raw.split(",") if p.strip()]
+    return sorted(PUZZLES)
+
+
+def skip_slow_baselines() -> bool:
+    return bool(os.environ.get("REPRO_SKIP_SLOW_BASELINES"))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Consistency-based diagnosis via all-solutions enumeration (Sec. 4, [2]).
+
+"The use of LSAT is desirable for applications such as consistency-based
+diagnosis, where more than one Boolean solution may be required to reason
+about the failure state of systems."
+
+Scenario: a redundant speed-sensing subsystem of the steering case study.
+Three components report the vehicle speed:
+
+* ``wheel_avg``  — healthy implies |v - 20| <= 2   (wheel odometry says ~20)
+* ``gps``        — healthy implies |v - 21| <= 2   (GPS agrees, roughly)
+* ``radar``      — healthy implies v >= 35         (radar is way off)
+
+All three cannot be healthy at once.  ABsolver enumerates every consistent
+health assignment with the LSAT engine and reports the minimal diagnoses.
+
+Run with:  python examples/diagnosis_demo.py
+"""
+
+from repro import ABProblem, ABSolver, ABSolverConfig, parse_constraint
+from repro.core.diagnosis import DiagnosisProblem, minimal_diagnoses
+
+
+def build_problem() -> DiagnosisProblem:
+    problem = ABProblem(name="speed-sensor-diagnosis")
+    # health bits: 1 = wheel_avg, 2 = gps, 3 = radar
+    # behaviour tags: 4..8
+    problem.add_clause([-1, 4])  # healthy wheel sensor: v >= 18
+    problem.add_clause([-1, 5])  # ... and v <= 22
+    problem.add_clause([-2, 6])  # healthy gps: v >= 19
+    problem.add_clause([-2, 7])  # ... and v <= 23
+    problem.add_clause([-3, 8])  # healthy radar: v >= 35
+    problem.define(4, "real", parse_constraint("v >= 18"))
+    problem.define(5, "real", parse_constraint("v <= 22"))
+    problem.define(6, "real", parse_constraint("v >= 19"))
+    problem.define(7, "real", parse_constraint("v <= 23"))
+    problem.define(8, "real", parse_constraint("v >= 35"))
+    problem.set_bounds("v", 0, 60)
+    return DiagnosisProblem(problem, {"wheel_avg": 1, "gps": 2, "radar": 3})
+
+
+def main() -> None:
+    diagnosis_problem = build_problem()
+    solver = ABSolver(ABSolverConfig(boolean="lsat"))
+
+    print("enumerating all consistent health assignments (LSAT + simplex)...")
+    diagnoses = diagnosis_problem.diagnoses(solver=solver)
+    print(f"{len(diagnoses)} distinct diagnoses found:")
+    for diagnosis in sorted(diagnoses, key=lambda d: (d.cardinality, sorted(d.faulty))):
+        label = ", ".join(sorted(diagnosis.faulty)) or "(all healthy)"
+        print(f"  assume faulty: {label}")
+
+    minimal = minimal_diagnoses(diagnoses)
+    print("\nminimal diagnoses (fewest fault assumptions):")
+    for diagnosis in minimal:
+        print(f"  {sorted(diagnosis.faulty)}")
+
+    # Sanity: the radar contradicts the other two, so every minimal
+    # diagnosis blames either the radar alone, or both speed sensors.
+    assert any(diagnosis.faulty == frozenset({"radar"}) for diagnosis in minimal)
+    print("\nconclusion: the radar unit is the prime suspect.")
+
+
+if __name__ == "__main__":
+    main()

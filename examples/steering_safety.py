@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The industrial case study (paper, Sec. 3): car steering control analysis.
+
+Rebuilds the steering-control AB-problem at the published size (976 CNF
+clauses; 24 arithmetic constraints: 4 linear sensor-plausibility checks and
+20 nonlinear vehicle-dynamics constraints) and runs the same solver
+combination as the paper — zChaff-like CDCL for the Boolean part,
+COIN-like exact simplex for the linear part, IPOPT-like augmented
+Lagrangian for the nonlinear part.
+
+The solve answers the engineering question: *is there an in-range sensor
+valuation under which every stability predicate of the controller holds?*
+A second query negates one plausibility constraint to show how conflict
+refinement (IIS blocking clauses) prunes the search.
+
+Run with:  python examples/steering_safety.py
+"""
+
+import time
+
+from repro import ABSolver, ABSolverConfig
+from repro.benchgen import NOMINAL_POINT, SENSOR_RANGES, steering_problem
+
+
+def main() -> None:
+    problem = steering_problem()
+    stats = problem.stats()
+    print("car steering control system (synthetic rebuild, Sec. 3)")
+    print(f"  clauses:              {stats.num_clauses}")
+    print(f"  arithmetic constraints: {stats.num_linear + stats.num_nonlinear} "
+          f"({stats.num_linear} linear, {stats.num_nonlinear} nonlinear)")
+    print("  sensor ranges:")
+    for sensor, (low, high) in sorted(SENSOR_RANGES.items()):
+        print(f"    {sensor:6s} in [{low}, {high}]")
+
+    solver = ABSolver(ABSolverConfig(boolean="cdcl", linear="simplex",
+                                     nonlinear=("newton", "auglag")))
+    started = time.perf_counter()
+    result = solver.solve(problem)
+    elapsed = time.perf_counter() - started
+    print(f"\nverdict: {result.status.value}  (in {elapsed:.2f}s; the paper "
+          f"reports <1 min on a 2007 notebook)")
+    print("stable operating point found by the solver:")
+    for sensor in sorted(SENSOR_RANGES):
+        print(f"    {sensor:6s} = {result.model.theory[sensor]:8.3f}"
+              f"   (nominal reference: {NOMINAL_POINT[sensor]})")
+    print("solver statistics:", result.stats.as_dict())
+
+    # A contradictory sensor scenario: force "speed tracks wheel mean" to
+    # fail while keeping its complement bounds — expect UNSAT with an IIS.
+    print("\n--- injected fault: speed estimate must NOT track the wheels ---")
+    faulty = steering_problem(name="car_steering_fault")
+    # definitions 1 and 2 are the two sides of |v - mean(w)| <= 0.5;
+    # forcing both false demands v be simultaneously above and below.
+    faulty.cnf.clauses = [c for c in faulty.cnf.clauses if c not in ((1,), (2,))]
+    faulty.add_clause([-1])
+    faulty.add_clause([-2])
+    started = time.perf_counter()
+    fault_result = ABSolver().solve(faulty)
+    elapsed = time.perf_counter() - started
+    print(f"verdict: {fault_result.status.value}  (in {elapsed:.2f}s)")
+    print(f"conflicts refined via IIS: {fault_result.stats.conflicts_refined}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Behavioural re-implementations of the paper's comparison solvers."""
+
+from .base import BaselineSolver, OutOfMemoryAbort, reject_nonlinear
+from .mathsat_like import MathSATLikeSolver
+from .cvclite_like import CVCLiteLikeSolver
+
+__all__ = [
+    "BaselineSolver",
+    "OutOfMemoryAbort",
+    "reject_nonlinear",
+    "MathSATLikeSolver",
+    "CVCLiteLikeSolver",
+]

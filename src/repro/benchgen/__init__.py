@@ -1,0 +1,67 @@
+"""Benchmark and workload generators for the paper's evaluation (Sec. 5)."""
+
+from .steering import steering_problem, SENSOR_RANGES, NOMINAL_POINT, TARGET_CLAUSES
+from .fischer import (
+    fischer_problem,
+    fischer_benchmark,
+    fischer_smtlib_text,
+    fischer_unsat_problem,
+    makespan_bound,
+)
+from .sudoku import (
+    PUZZLES,
+    parse_grid,
+    format_grid,
+    encode_sudoku,
+    decode_solution,
+    check_grid,
+    sudoku_problem,
+)
+from .example_model import build_fig1_model, FIG1_INPUT_RANGES
+from .randgen import planted_problem, random_linear_problem, PlantedInstance
+from .watertank import (
+    watertank_model,
+    watertank_problem,
+    watertank_safety_problem,
+    TANK_RIM,
+    ALARM_LEVEL,
+)
+from .nonlinear_micro import (
+    esat_problem,
+    nonlinear_unsat_problem,
+    div_operator_problem,
+    MICRO_BENCHMARKS,
+)
+
+__all__ = [
+    "build_fig1_model",
+    "FIG1_INPUT_RANGES",
+    "planted_problem",
+    "random_linear_problem",
+    "PlantedInstance",
+    "watertank_model",
+    "watertank_problem",
+    "watertank_safety_problem",
+    "TANK_RIM",
+    "ALARM_LEVEL",
+    "steering_problem",
+    "SENSOR_RANGES",
+    "NOMINAL_POINT",
+    "TARGET_CLAUSES",
+    "fischer_problem",
+    "fischer_benchmark",
+    "fischer_smtlib_text",
+    "fischer_unsat_problem",
+    "makespan_bound",
+    "PUZZLES",
+    "parse_grid",
+    "format_grid",
+    "encode_sudoku",
+    "decode_solution",
+    "check_grid",
+    "sudoku_problem",
+    "esat_problem",
+    "nonlinear_unsat_problem",
+    "div_operator_problem",
+    "MICRO_BENCHMARKS",
+]

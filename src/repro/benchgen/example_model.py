@@ -1,0 +1,109 @@
+"""The paper's Fig. 1 example MATLAB/Simulink model, built block by block.
+
+Implements the diagram exactly: inputs ``a, x, y, i, j``; the Boolean
+structure ``((i >= 0) and (j >= 0)) and (not(2i + j < 10) or (i + j < 5))
+and (a*x + 3.5/(4 - y) + 2y >= 7.1)`` feeding output port ``Out1``.
+
+Used by the quickstart example, the conversion tests, and the Fig. 2
+benchmark.
+"""
+
+from __future__ import annotations
+
+from ..simulink import (
+    Constant,
+    Gain,
+    Inport,
+    LogicalOperator,
+    Outport,
+    Product,
+    RelationalOperator,
+    SimulinkModel,
+    Sum,
+)
+
+__all__ = ["build_fig1_model", "FIG1_INPUT_RANGES"]
+
+#: Input ranges used for the example (the paper's figure does not fix any;
+#: these keep the nonlinear solver's search box finite).
+FIG1_INPUT_RANGES = {
+    "a": (-10.0, 10.0),
+    "x": (-10.0, 10.0),
+    "y": (-10.0, 10.0),
+    "i": (-20.0, 20.0),
+    "j": (-20.0, 20.0),
+}
+
+
+def build_fig1_model() -> SimulinkModel:
+    """Construct Fig. 1 as a :class:`SimulinkModel`."""
+    model = SimulinkModel("fig1")
+    for name, (low, high) in FIG1_INPUT_RANGES.items():
+        model.add(Inport(name, low, high))
+    model.add(Constant("c0", 0.0))
+    model.add(Constant("c35", 3.5))
+    model.add(Constant("c4", 4.0))
+    model.add(Constant("c10", 10.0))
+    model.add(Constant("c5", 5.0))
+    model.add(Constant("c71", 7.1))
+
+    # (i >= 0) AND (j >= 0)
+    model.add(RelationalOperator("i_ge0", ">="))
+    model.connect("i", "i_ge0", 0)
+    model.connect("c0", "i_ge0", 1)
+    model.add(RelationalOperator("j_ge0", ">="))
+    model.connect("j", "j_ge0", 0)
+    model.connect("c0", "j_ge0", 1)
+    model.add(LogicalOperator("and1", "AND", 2))
+    model.connect("i_ge0", "and1", 0)
+    model.connect("j_ge0", "and1", 1)
+
+    # NOT(2i + j < 10) OR (i + j < 5)
+    model.add(Gain("g2", 2.0))
+    model.connect("i", "g2", 0)
+    model.add(Sum("s1", "++"))
+    model.connect("g2", "s1", 0)
+    model.connect("j", "s1", 1)
+    model.add(RelationalOperator("lt10", "<"))
+    model.connect("s1", "lt10", 0)
+    model.connect("c10", "lt10", 1)
+    model.add(LogicalOperator("not1", "NOT"))
+    model.connect("lt10", "not1", 0)
+    model.add(Sum("s2", "++"))
+    model.connect("i", "s2", 0)
+    model.connect("j", "s2", 1)
+    model.add(RelationalOperator("lt5", "<"))
+    model.connect("s2", "lt5", 0)
+    model.connect("c5", "lt5", 1)
+    model.add(LogicalOperator("or1", "OR", 2))
+    model.connect("not1", "or1", 0)
+    model.connect("lt5", "or1", 1)
+
+    # a*x + 3.5 / (4 - y) + 2*y >= 7.1
+    model.add(Product("ax", "**"))
+    model.connect("a", "ax", 0)
+    model.connect("x", "ax", 1)
+    model.add(Sum("s4my", "+-"))
+    model.connect("c4", "s4my", 0)
+    model.connect("y", "s4my", 1)
+    model.add(Product("divq", "*/"))
+    model.connect("c35", "divq", 0)
+    model.connect("s4my", "divq", 1)
+    model.add(Gain("g2y", 2.0))
+    model.connect("y", "g2y", 0)
+    model.add(Sum("s3", "+++"))
+    model.connect("ax", "s3", 0)
+    model.connect("divq", "s3", 1)
+    model.connect("g2y", "s3", 2)
+    model.add(RelationalOperator("ge71", ">="))
+    model.connect("s3", "ge71", 0)
+    model.connect("c71", "ge71", 1)
+
+    # Out1 = and(and1, or1, ge71)
+    model.add(LogicalOperator("and2", "AND", 3))
+    model.connect("and1", "and2", 0)
+    model.connect("or1", "and2", 1)
+    model.connect("ge71", "and2", 2)
+    model.add(Outport("Out1"))
+    model.connect("and2", "Out1", 0)
+    return model

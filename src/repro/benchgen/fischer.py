@@ -1,0 +1,152 @@
+"""FISCHER-style SMT-LIB benchmarks (paper, Sec. 5.2 / Table 2).
+
+The paper runs ABsolver on ``FISCHERn-1-fair.smt`` from the SMT-LIB 1.2
+library: bounded-model-checking instances of Fischer's real-time mutual
+exclusion protocol, "a combination of Boolean and linear problems".  The
+2006 benchmark archive is not reachable offline, so this generator rebuilds
+the family: one protocol round for ``n`` processes with real-valued event
+times, delay choices, pairwise mutual-exclusion disjunctions, a makespan
+bound, and a fairness side condition — emitted as *SMT-LIB 1.2 text* and
+re-parsed through :mod:`repro.io.smtlib`, exactly the conversion path the
+paper describes.
+
+Protocol round, process ``i``:
+
+* ``t_i``  — the instant the process writes the shared lock,
+* ``c_i``  — the instant it re-checks the lock and leaves its critical
+  section; the delay ``c_i - t_i`` is 1 for a *fast* process (``p_i``) and
+  2 for a *slow* one (Fischer's two delay constants ``delta_1 < delta_2``),
+* mutual exclusion: for every pair, one critical section ends before the
+  other begins — ``c_i <= t_j  or  c_j <= t_i`` (the Boolean/linear
+  interaction that makes the family hard for loosely-coupled solvers),
+* all events happen within the makespan bound ``B = n + max(1, n // 2)``,
+* fairness: at least one process takes the slow branch.
+
+Every instance is satisfiable (schedule the processes sequentially), but a
+lazy solver must discover a consistent *ordering* of the critical sections,
+refuting many cyclic candidate orderings on the way — which reproduces the
+paper's observation that "many Boolean solutions need to be examined first"
+and yields Table 2's growth of ABsolver's runtime in n.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.problem import ABProblem
+from ..io.smtlib import SmtLibBenchmark, parse_smtlib
+
+__all__ = [
+    "fischer_smtlib_text",
+    "fischer_benchmark",
+    "fischer_problem",
+    "fischer_unsat_problem",
+    "makespan_bound",
+]
+
+
+def makespan_bound(n: int) -> int:
+    """The schedule deadline: tight enough to constrain, loose enough to be SAT."""
+    return n + max(1, n // 2)
+
+
+def fischer_smtlib_text(n: int, bound: Optional[int] = None) -> str:
+    """Emit ``FISCHERn-1-fair`` as SMT-LIB v1.2 benchmark text.
+
+    ``bound`` overrides the makespan deadline (default:
+    :func:`makespan_bound`, which makes the instance satisfiable; anything
+    below ``n + 1`` makes it unsatisfiable under the fairness condition).
+    """
+    if n < 1:
+        raise ValueError("need at least one process")
+    if bound is None:
+        bound = makespan_bound(n)
+    satisfiable = bound >= n + 1
+    lines: List[str] = []
+    lines.append(f"(benchmark FISCHER{n}-1-fair")
+    lines.append("  :source { reproduction of the SMT-LIB QF_RDL FISCHER family }")
+    lines.append("  :logic QF_LRA")
+    lines.append(f"  :status {'sat' if satisfiable else 'unsat'}")
+    funs = " ".join(f"(t_{i} Real) (c_{i} Real)" for i in range(1, n + 1))
+    lines.append(f"  :extrafuns ({funs})")
+    preds = " ".join(f"(p_{i})" for i in range(1, n + 1))
+    lines.append(f"  :extrapreds ({preds})")
+    # Non-negative start times and the makespan bound are assumptions.
+    for i in range(1, n + 1):
+        lines.append(f"  :assumption (>= t_{i} 0)")
+        lines.append(f"  :assumption (<= c_{i} {bound})")
+    # Fairness: at least one slow process.
+    fairness = " ".join(f"(not p_{i})" for i in range(1, n + 1))
+    lines.append(f"  :assumption (or {fairness})" if n > 1 else f"  :assumption (not p_1)")
+    # Main formula: delay choices and pairwise mutual exclusion.
+    parts: List[str] = []
+    for i in range(1, n + 1):
+        fast = f"(and p_{i} (>= (- c_{i} t_{i}) 1) (<= (- c_{i} t_{i}) 1))"
+        slow = f"(and (not p_{i}) (>= (- c_{i} t_{i}) 2) (<= (- c_{i} t_{i}) 2))"
+        parts.append(f"(or {fast} {slow})")
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            parts.append(f"(or (<= c_{i} t_{j}) (<= c_{j} t_{i}))")
+    # Static theory lemmas, standard in BMC encodings of timed systems
+    # (MathSAT's preprocessing generates the same implications):
+    # (a) per-process delay-atom implications,
+    # (b) 2-cycle exclusion (both critical sections cannot precede each
+    #     other, delays being positive),
+    # (c) ordering transitivity.
+    for i in range(1, n + 1):
+        ge1 = f"(>= (- c_{i} t_{i}) 1)"
+        le1 = f"(<= (- c_{i} t_{i}) 1)"
+        ge2 = f"(>= (- c_{i} t_{i}) 2)"
+        le2 = f"(<= (- c_{i} t_{i}) 2)"
+        parts.append(f"(implies {ge2} {ge1})")
+        parts.append(f"(implies {le1} {le2})")
+        parts.append(f"(or {ge1} {le1})")
+        parts.append(f"(or {le2} {ge2})")
+        parts.append(f"(implies {le1} (not {ge2}))")
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            parts.append(f"(not (and (<= c_{i} t_{j}) (<= c_{j} t_{i})))")
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            for k in range(1, n + 1):
+                if len({i, j, k}) == 3:
+                    parts.append(
+                        f"(implies (and (<= c_{i} t_{j}) (<= c_{j} t_{k})) (<= c_{i} t_{k}))"
+                    )
+    if len(parts) == 1:
+        lines.append(f"  :formula {parts[0]}")
+    else:
+        lines.append("  :formula (and")
+        for part in parts:
+            lines.append(f"    {part}")
+        lines.append("  )")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+def fischer_benchmark(n: int) -> SmtLibBenchmark:
+    """Generate and parse the instance (exercises the SMT-LIB converter)."""
+    return parse_smtlib(fischer_smtlib_text(n))
+
+
+def fischer_problem(n: int) -> ABProblem:
+    """The AB-problem of ``FISCHERn-1-fair``."""
+    benchmark = fischer_benchmark(n)
+    benchmark.problem.name = f"FISCHER{n}-1-fair"
+    return benchmark.problem
+
+
+def fischer_unsat_problem(n: int) -> ABProblem:
+    """An infeasible variant: the deadline is below the minimum makespan.
+
+    With the fairness condition at least one process is slow (duration 2),
+    the rest take at least 1, and the critical sections are disjoint, so no
+    schedule fits in ``n`` time units.  Exercises the UNSAT path at scale:
+    the solver must refute *every* Boolean ordering candidate via theory
+    conflicts.
+    """
+    if n < 1:
+        raise ValueError("need at least one process")
+    benchmark = parse_smtlib(fischer_smtlib_text(n, bound=n))
+    benchmark.problem.name = f"FISCHER{n}-1-fair-unsat"
+    return benchmark.problem

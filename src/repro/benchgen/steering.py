@@ -1,0 +1,179 @@
+"""Synthetic car steering control system (paper, Sec. 3 / Table 1 row 1).
+
+The original industrial MATLAB/Simulink model is withheld "due to obvious
+issues with the protection of intellectual property", but the paper
+publishes its interface and size:
+
+* sensors — yaw rate in [-7, 7], lateral acceleration in [-20, 20], four
+  wheel speed sensors in [-400, 400], steering angle in [-1, 1];
+* conversion result — 976 CNF clauses and 24 arithmetic constraints, of
+  which 4 are linear and 20 nonlinear;
+* solved in under a minute with zChaff + COIN + IPOPT.
+
+This generator rebuilds a model of that shape: a single-track ("bicycle")
+vehicle model supplies the nonlinear environment constraints (friction
+circle, yaw-rate consistency, sideslip dynamics, trigonometric steering
+geometry), sensor-plausibility checks supply the linear ones, and a
+deterministic mode/diagnosis controller skeleton supplies the Boolean
+clause structure, padded to exactly the published 976 clauses.  The
+stability predicate is satisfiable — straight driving at moderate speed is
+a witness — so the solve exercises the full zChaff→COIN→IPOPT pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.expr import parse_constraint
+from ..core.problem import ABProblem
+
+__all__ = ["steering_problem", "SENSOR_RANGES", "NOMINAL_POINT", "TARGET_CLAUSES"]
+
+#: Sensor ranges exactly as published in Sec. 3 (plus the derived internal
+#: quantities the environment model needs).
+SENSOR_RANGES: Dict[str, Tuple[float, float]] = {
+    "yaw": (-7.0, 7.0),  # yaw-rate sensor [rad/s]
+    "lat": (-20.0, 20.0),  # lateral acceleration sensor [m/s^2]
+    "w1": (-400.0, 400.0),  # wheel speed sensors [rad/s]
+    "w2": (-400.0, 400.0),
+    "w3": (-400.0, 400.0),
+    "w4": (-400.0, 400.0),
+    "delta": (-1.0, 1.0),  # steering angle [rad]
+    "v": (0.0, 60.0),  # estimated vehicle speed [m/s]
+    "beta": (-0.5, 0.5),  # sideslip angle [rad]
+    "mu": (0.1, 1.2),  # road friction estimate
+}
+
+#: A comfortably feasible operating point (straight driving at 20 m/s) —
+#: every constraint below holds here with margin, guaranteeing SAT.
+NOMINAL_POINT: Dict[str, float] = {
+    "yaw": 0.0,
+    "lat": 0.0,
+    "w1": 20.0,
+    "w2": 20.0,
+    "w3": 20.0,
+    "w4": 20.0,
+    "delta": 0.0,
+    "v": 20.0,
+    "beta": 0.0,
+    "mu": 0.9,
+}
+
+#: The published conversion size.
+TARGET_CLAUSES = 976
+
+#: The 4 linear sensor-consistency constraints (Table 1: #linear = 4).
+_LINEAR_CONSTRAINTS = [
+    # speed estimate tracks the mean wheel speed
+    "v - (w1 + w2 + w3 + w4) / 4 <= 0.5",
+    "(w1 + w2 + w3 + w4) / 4 - v <= 0.5",
+    # left/right wheel speeds stay plausible relative to each other
+    "w1 - w2 <= 30",
+    "w2 - w1 <= 30",
+]
+
+#: The 20 nonlinear environment/vehicle-dynamics constraints
+#: (Table 1: #nonlin. = 20).  L = 2.8 m wheelbase, g = 9.81 m/s^2.
+_NONLINEAR_CONSTRAINTS = [
+    # measured lateral acceleration consistent with yaw * speed
+    "yaw * v - lat <= 5",
+    "lat - yaw * v <= 5",
+    # friction circle: ay^2 + (yaw v)^2 <= (mu g)^2
+    "lat * lat + yaw * v * yaw * v <= mu * mu * 96.2361",
+    # single-track model: yaw rate ~ v * tan(delta) / L
+    "v * yaw - v * v * tan(delta) / 2.8 <= 3",
+    "v * v * tan(delta) / 2.8 - v * yaw <= 3",
+    # sideslip dynamics stay bounded
+    "beta * v - 0.5 * yaw <= 4",
+    "0.5 * yaw - beta * v <= 4",
+    # friction-limited speed envelope
+    "mu * v <= 60",
+    # sideslip exponential comfort bound
+    "exp(beta) <= 1.7",
+    "exp(0 - beta) <= 1.7",
+    # lateral tyre force component
+    "v * sin(delta) <= 8",
+    "v * sin(delta) >= -8",
+    # differential wheel slip energy
+    "(w1 - w2) * (w1 - w2) + (w3 - w4) * (w3 - w4) <= 2000",
+    # yaw-energy envelope
+    "yaw * yaw * v <= 300",
+    # friction estimate bounded away from zero (quadratically)
+    "mu * mu >= 0.01",
+    # speed-normalized lateral acceleration (division operator)
+    "lat / (1 + v * v / 100) <= 15",
+    "lat / (1 + v * v / 100) >= -15",
+    # small sideslip region
+    "beta * beta <= 0.2",
+    # yaw/sideslip cross coupling
+    "yaw * beta <= 2",
+    # steering geometry stays in the cosine-valid region
+    "cos(delta) >= 0.5",
+]
+
+
+def steering_problem(name: str = "car_steering") -> ABProblem:
+    """Build the Table 1 car-steering instance (976 clauses, 4+20 defs)."""
+    problem = ABProblem(name=name)
+
+    # --- arithmetic definitions (Boolean variables 1..24) ---------------
+    texts = _LINEAR_CONSTRAINTS + _NONLINEAR_CONSTRAINTS
+    for index, text in enumerate(texts, start=1):
+        problem.define(index, "real", parse_constraint(text))
+    for sensor, (low, high) in SENSOR_RANGES.items():
+        problem.set_bounds(sensor, low, high)
+
+    # The stability predicate: every plausibility/dynamics check holds.
+    for index in range(1, len(texts) + 1):
+        problem.add_clause([index])
+
+    # --- controller mode / diagnosis skeleton ---------------------------
+    # A deterministic Boolean structure standing in for the controller's
+    # discrete logic: mode one-hot groups, diagnosis implication ladders,
+    # and cross-mode exclusions.  All clauses are satisfied by the planted
+    # assignment "first mode of each group on, ladder cascaded on", so the
+    # overall problem stays satisfiable.
+    next_var = len(texts)
+
+    def fresh() -> int:
+        nonlocal next_var
+        next_var += 1
+        return next_var
+
+    # 8 mode groups of 4 (one-hot): 8 * (1 + 6) = 56 clauses
+    mode_groups: List[List[int]] = []
+    for _ in range(8):
+        group = [fresh() for _ in range(4)]
+        mode_groups.append(group)
+        problem.add_clause(group)  # at least one mode active
+        for i in range(4):
+            for j in range(i + 1, 4):
+                problem.add_clause([-group[i], -group[j]])  # at most one
+
+    # Diagnosis ladders: chains d1 -> d2 -> ... -> dk anchored at the
+    # arithmetic checks (sensor check failure cascades into diagnoses).
+    ladder_clauses = 0
+    anchor = 1
+    ladders: List[List[int]] = []
+    while problem.cnf.num_clauses + 2 < TARGET_CLAUSES:
+        length = 6
+        chain = [fresh() for _ in range(length)]
+        ladders.append(chain)
+        # anchor: if the arithmetic check fails, the first diagnosis fires
+        problem.add_clause([anchor, chain[0]])
+        ladder_clauses += 1
+        anchor = anchor % len(texts) + 1
+        for a, b in zip(chain, chain[1:]):
+            if problem.cnf.num_clauses >= TARGET_CLAUSES:
+                break
+            problem.add_clause([-a, b])
+            ladder_clauses += 1
+        if problem.cnf.num_clauses >= TARGET_CLAUSES:
+            break
+
+    # Top up with benign two-literal clauses to hit the published count.
+    while problem.cnf.num_clauses < TARGET_CLAUSES:
+        problem.add_clause([mode_groups[0][0], fresh()])
+
+    assert problem.cnf.num_clauses == TARGET_CLAUSES, problem.cnf.num_clauses
+    return problem

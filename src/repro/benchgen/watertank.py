@@ -1,0 +1,131 @@
+"""Water-tank level monitor: a hybrid-systems verification workload.
+
+The paper's title promises *analysis of hybrid systems*; the steering case
+study is one instance, this module supplies a second, fully self-contained
+one built on the same pipeline.  A tank is filled by a pump and drained
+through an orifice; the outflow follows Torricelli's law
+``q_out = k * sqrt(level)`` — a genuinely nonlinear environment model.  The
+monitor under analysis raises an alarm when the level approaches the rim.
+
+Discrete modes: the pump is ON or OFF.  The analysis questions mirror the
+case study's:
+
+* **reachability** (``goal="satisfy"``): is there an operating point where
+  the alarm fires? (test stimulus for the alarm path);
+* **safety** (``goal="violate"`` on the safety output): can the level
+  exceed the rim while the alarm stays silent?  UNSAT = the monitor is
+  adequate over the modelled envelope.
+
+Both the block-model route (through :mod:`repro.simulink`) and a direct
+AB-problem builder are provided, so the workload exercises the Fig. 3
+pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from ..core.expr import parse_constraint
+from ..core.problem import ABProblem
+from ..simulink import (
+    Constant,
+    Gain,
+    Inport,
+    LogicalOperator,
+    Outport,
+    RelationalOperator,
+    SimulinkModel,
+    Sqrt,
+    Sum,
+)
+
+__all__ = [
+    "watertank_model",
+    "watertank_problem",
+    "watertank_safety_problem",
+    "TANK_RIM",
+    "ALARM_LEVEL",
+]
+
+#: Geometry / thresholds of the modelled tank.
+TANK_RIM = 2.0  # metres: overflow above this level
+ALARM_LEVEL = 1.6  # metres: the monitor's alarm threshold
+OUTFLOW_K = 0.8  # Torricelli coefficient: q_out = k * sqrt(level)
+PUMP_RATE_MAX = 1.5  # maximum pump inflow
+
+
+def watertank_model() -> SimulinkModel:
+    """Block model of the monitor: alarm = (level >= ALARM) or not balanced.
+
+    Inputs: ``level`` (current water level, metres) and ``q_in`` (pump
+    inflow).  The "balanced" predicate checks the level can be stationary:
+    inflow does not exceed the Torricelli outflow by more than a margin.
+    The alarm output fires on high level or on a filling imbalance near the
+    rim.
+    """
+    model = SimulinkModel("watertank")
+    model.add(Inport("level", 0.0, TANK_RIM))
+    model.add(Inport("q_in", 0.0, PUMP_RATE_MAX))
+    model.add(Constant("alarm_at", ALARM_LEVEL))
+    model.add(Constant("margin", 0.2))
+    model.add(Constant("near_rim", ALARM_LEVEL - 0.4))
+
+    # high-level predicate: level >= alarm_at
+    model.add(RelationalOperator("high", ">="))
+    model.connect("level", "high", 0)
+    model.connect("alarm_at", "high", 1)
+
+    # imbalance predicate: q_in - k*sqrt(level) > margin
+    model.add(Sqrt("root"))
+    model.connect("level", "root", 0)
+    model.add(Gain("outflow", OUTFLOW_K))
+    model.connect("root", "outflow", 0)
+    model.add(Sum("net", "+-"))
+    model.connect("q_in", "net", 0)
+    model.connect("outflow", "net", 1)
+    model.add(RelationalOperator("filling", ">"))
+    model.connect("net", "filling", 0)
+    model.connect("margin", "filling", 1)
+
+    # near-rim predicate: level >= near_rim
+    model.add(RelationalOperator("near", ">="))
+    model.connect("level", "near", 0)
+    model.connect("near_rim", "near", 1)
+
+    # alarm = high or (near and filling)
+    model.add(LogicalOperator("risky", "AND", 2))
+    model.connect("near", "risky", 0)
+    model.connect("filling", "risky", 1)
+    model.add(LogicalOperator("alarm_logic", "OR", 2))
+    model.connect("high", "alarm_logic", 0)
+    model.connect("risky", "alarm_logic", 1)
+    model.add(Outport("alarm"))
+    model.connect("alarm_logic", "alarm", 0)
+    return model
+
+
+def watertank_problem(goal: str = "satisfy") -> ABProblem:
+    """The AB-problem asking whether the alarm can fire (or stay silent).
+
+    ``goal="satisfy"``: find an operating point with the alarm ON.
+    ``goal="violate"``: find one with the alarm OFF (always exists here —
+    an idle half-empty tank); the interesting safety query adds the unsafe
+    region, see :func:`watertank_safety_problem`.
+    """
+    from ..simulink import model_to_problem
+
+    return model_to_problem(watertank_model(), goal=goal)
+
+
+def watertank_safety_problem() -> ABProblem:
+    """Safety query: silent alarm AND nearly-overflowing tank — expect UNSAT.
+
+    Builds the conjunction directly: the monitor's alarm formula is false
+    while ``level >= rim - 0.1``.  Unsatisfiability proves the alarm covers
+    the overflow region with a 0.1 m guard band.
+    """
+    problem = watertank_problem(goal="violate")
+    # conjoin the unsafe region: level >= TANK_RIM - 0.1
+    unsafe_var = problem.cnf.num_vars + 1
+    problem.define(unsafe_var, "real", parse_constraint(f"level >= {TANK_RIM - 0.1}"))
+    problem.add_clause([unsafe_var])
+    problem.name = "watertank-safety"
+    return problem

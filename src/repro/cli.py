@@ -1,0 +1,215 @@
+"""The ``absolver`` command-line tool.
+
+"The various constituents of our solver are customisable via command line
+parameters, say, to allow the use of specific heuristics" (paper, Sec. 1.1).
+The stand-alone executable reads the extended DIMACS format (or SMT-LIB 1.2
+with ``--smtlib``), runs the configured solver combination, and prints the
+verdict plus the witness model.
+
+Examples::
+
+    absolver problem.cnf
+    absolver --boolean lsat --linear simplex --all-models problem.cnf
+    absolver --smtlib FISCHER4-1-fair.smt
+    absolver --linear difference --stats problem.cnf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.registry import DOMAIN_BOOLEAN, DOMAIN_LINEAR, DOMAIN_NONLINEAR, default_registry
+from .core.solver import ABSolver, ABSolverConfig, ABStatus
+from .io.dimacs import parse_dimacs_file
+from .io.smtlib import parse_smtlib
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="absolver",
+        description="Multi-domain (Boolean + linear + nonlinear) constraint solver",
+    )
+    parser.add_argument(
+        "input",
+        help="problem file (extended DIMACS; SMT-LIB with --smtlib; model file with --model)",
+    )
+    parser.add_argument("--smtlib", action="store_true", help="parse input as SMT-LIB v1.2")
+    parser.add_argument(
+        "--model",
+        action="store_true",
+        help="parse input as a Simulink-like model file and convert it (Fig. 3 pipeline)",
+    )
+    parser.add_argument(
+        "--goal",
+        default="satisfy",
+        choices=("satisfy", "violate"),
+        help="with --model: search for a satisfying input or a counterexample",
+    )
+    parser.add_argument(
+        "--output-port",
+        default=None,
+        help="with --model: which Boolean outport to analyse (default: the only one)",
+    )
+    parser.add_argument(
+        "--boolean",
+        default="cdcl",
+        choices=default_registry.available(DOMAIN_BOOLEAN),
+        help="Boolean solver (default: cdcl)",
+    )
+    parser.add_argument(
+        "--linear",
+        default="simplex",
+        choices=default_registry.available(DOMAIN_LINEAR),
+        help="linear solver (default: simplex)",
+    )
+    parser.add_argument(
+        "--nonlinear",
+        default="newton,auglag",
+        help="comma-separated nonlinear solver list (default: newton,auglag)",
+    )
+    parser.add_argument(
+        "--all-models", action="store_true", help="enumerate all models instead of one"
+    )
+    parser.add_argument(
+        "--max-models", type=int, default=None, help="cap for --all-models output"
+    )
+    parser.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="disable IIS conflict refinement (block full assignments)",
+    )
+    parser.add_argument("--stats", action="store_true", help="print solver statistics")
+    parser.add_argument("--quiet", action="store_true", help="print only the verdict")
+    parser.add_argument(
+        "--verbose", action="store_true", help="trace every control-loop step"
+    )
+    parser.add_argument(
+        "--minimize",
+        metavar="EXPR",
+        default=None,
+        help="optimize: find the model minimizing a linear expression, e.g. 'x + 2*y'",
+    )
+    parser.add_argument(
+        "--maximize",
+        metavar="EXPR",
+        default=None,
+        help="optimize: find the model maximizing a linear expression",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.smtlib and args.model:
+        print("error: --smtlib and --model are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.smtlib:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            problem = parse_smtlib(handle.read()).problem
+    elif args.model:
+        from .io.mdl import parse_model_file
+        from .simulink import model_to_problem
+
+        model = parse_model_file(args.input)
+        problem = model_to_problem(model, output=args.output_port, goal=args.goal)
+    else:
+        problem = parse_dimacs_file(args.input)
+
+    nonlinear = [name.strip() for name in args.nonlinear.split(",") if name.strip()]
+    for name in nonlinear:
+        if name not in default_registry.available(DOMAIN_NONLINEAR):
+            print(f"error: unknown nonlinear solver {name!r}", file=sys.stderr)
+            return 2
+    trace = None
+    if args.verbose:
+
+        def trace(event: str, payload: dict) -> None:
+            details = " ".join(f"{key}={value}" for key, value in payload.items())
+            print(f"  [{event}] {details}")
+
+    config = ABSolverConfig(
+        boolean=args.boolean,
+        linear=args.linear,
+        nonlinear=nonlinear,
+        refine_conflicts=not args.no_refine,
+        trace=trace,
+    )
+    solver = ABSolver(config)
+
+    if args.minimize is not None or args.maximize is not None:
+        return _run_optimization(args, problem)
+
+    started = time.perf_counter()
+    if args.all_models:
+        count = 0
+        for model in solver.all_solutions(problem, limit=args.max_models):
+            count += 1
+            if not args.quiet:
+                print(f"model {count}: boolean={model.boolean} theory={model.theory}")
+        elapsed = time.perf_counter() - started
+        print(f"{count} model(s) in {elapsed:.3f}s")
+        if args.stats:
+            print(f"stats: {solver.stats.as_dict()}")
+        return 0 if count else 20
+
+    result = solver.solve(problem)
+    elapsed = time.perf_counter() - started
+    print(f"{result.status.value} ({elapsed:.3f}s)")
+    if result.is_sat and not args.quiet:
+        assert result.model is not None
+        print(f"boolean: {result.model.boolean}")
+        print(f"theory:  {result.model.theory}")
+    if result.status is ABStatus.UNKNOWN and result.reason:
+        print(f"reason: {result.reason}")
+    if args.stats:
+        print(f"stats: {result.stats.as_dict()}")
+    # Exit codes follow SAT-solver convention: 10 SAT, 20 UNSAT, 0 unknown.
+    if result.is_sat:
+        return 10
+    if result.is_unsat:
+        return 20
+    return 0
+
+
+def _run_optimization(args, problem) -> int:
+    """Handle --minimize / --maximize queries via the OMT extension."""
+    from .core.expr import NonlinearExpressionError, parse_expression
+    from .core.optimize import ABOptimizer, OptimizationStatus
+
+    if args.minimize is not None and args.maximize is not None:
+        print("error: --minimize and --maximize are mutually exclusive", file=sys.stderr)
+        return 2
+    text = args.minimize if args.minimize is not None else args.maximize
+    try:
+        form = parse_expression(text).linear_form()
+    except NonlinearExpressionError:
+        print(f"error: objective {text!r} is not linear", file=sys.stderr)
+        return 2
+    optimizer = ABOptimizer(boolean=args.boolean)
+    started = time.perf_counter()
+    if args.minimize is not None:
+        result = optimizer.minimize(problem, form.coeffs)
+    else:
+        result = optimizer.maximize(problem, form.coeffs)
+    elapsed = time.perf_counter() - started
+    print(f"{result.status.value} ({elapsed:.3f}s)")
+    if result.status is OptimizationStatus.OPTIMAL:
+        # the constant term of the objective shifts the reported optimum
+        print(f"objective: {result.objective + form.constant}")
+        if not args.quiet:
+            print(f"theory:  {result.model.theory}")
+            print(f"boolean: {result.model.boolean}")
+        return 10
+    if result.status is OptimizationStatus.UNSAT:
+        return 20
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

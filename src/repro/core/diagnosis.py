@@ -1,0 +1,92 @@
+"""Consistency-based diagnosis on top of all-solutions enumeration.
+
+The paper motivates LSAT integration with exactly this application: "the
+use of LSAT is desirable for applications such as consistency-based
+diagnosis, where more than one Boolean solution may be required to reason
+about the failure state of systems" (Sec. 4, citing [2]).
+
+The classical setting (Reiter/de Kleer): a system of components, each with
+a health variable ``ok_c``; component behaviour is encoded as
+``ok_c -> behaviour_c``.  Given an observation inconsistent with "all
+healthy", the *diagnoses* are the health assignments consistent with the
+observation; *minimal* diagnoses assume as few faults as possible.
+
+:class:`DiagnosisProblem` wraps an AB-problem whose designated health
+variables play that role, enumerates all models with the all-SAT engine,
+projects them onto the health bits, and minimizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .problem import ABProblem
+from .solver import ABSolver, ABSolverConfig
+
+__all__ = ["Diagnosis", "DiagnosisProblem", "minimal_diagnoses"]
+
+
+class Diagnosis:
+    """One diagnosis: the set of components assumed faulty."""
+
+    def __init__(self, faulty: Iterable[str]):
+        self.faulty: FrozenSet[str] = frozenset(faulty)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.faulty)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Diagnosis) and other.faulty == self.faulty
+
+    def __hash__(self) -> int:
+        return hash(self.faulty)
+
+    def __repr__(self) -> str:
+        if not self.faulty:
+            return "Diagnosis(all healthy)"
+        return f"Diagnosis(faulty={sorted(self.faulty)})"
+
+
+class DiagnosisProblem:
+    """An AB-problem with designated component-health variables."""
+
+    def __init__(self, problem: ABProblem, health_vars: Dict[str, int]):
+        """``health_vars`` maps component name -> Boolean variable index
+        (true = healthy)."""
+        for component, var in health_vars.items():
+            if var <= 0 or var > problem.cnf.num_vars:
+                raise ValueError(f"health variable {var} of {component!r} out of range")
+        self.problem = problem
+        self.health_vars = dict(health_vars)
+
+    def diagnoses(
+        self, solver: Optional[ABSolver] = None, max_models: Optional[int] = None
+    ) -> List[Diagnosis]:
+        """All distinct diagnoses (projections of models onto health bits)."""
+        solver = solver or ABSolver(ABSolverConfig(boolean="lsat"))
+        seen: Set[FrozenSet[str]] = set()
+        result: List[Diagnosis] = []
+        examined = 0
+        for model in solver.all_solutions(self.problem):
+            examined += 1
+            faulty = frozenset(
+                component
+                for component, var in self.health_vars.items()
+                if not model.boolean.get(var, False)
+            )
+            if faulty not in seen:
+                seen.add(faulty)
+                result.append(Diagnosis(faulty))
+            if max_models is not None and examined >= max_models:
+                break
+        return result
+
+
+def minimal_diagnoses(candidates: Sequence[Diagnosis]) -> List[Diagnosis]:
+    """Subset-minimal diagnoses among the candidates."""
+    minimal: List[Diagnosis] = []
+    for candidate in sorted(candidates, key=lambda d: d.cardinality):
+        if not any(kept.faulty <= candidate.faulty for kept in minimal):
+            minimal.append(candidate)
+    return minimal

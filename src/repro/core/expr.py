@@ -1,0 +1,984 @@
+"""Arithmetic expression AST for AB-problems.
+
+The paper (Sec. 2) defines the arithmetic part of the class AB as expressions
+``a0 x0 op1 ... opn an xn ? c`` with ``opi in {+, -, *, /}`` and notes that
+extension to transcendental operators such as ``sin``, ``cos`` or ``exp`` is
+"straightforward and not limited by a design decision".  This module provides
+exactly that: a small expression language over real- and integer-valued
+variables with
+
+* construction via operator overloading (``a * x + 3.5 / (4 - y) >= 7.1``),
+* evaluation against variable environments,
+* symbolic differentiation (needed by the nonlinear solver for gradients),
+* linearity analysis and extraction of linear coefficient vectors (needed to
+  route constraints to the linear vs. nonlinear solver),
+* structural simplification and substitution,
+* a recursive-descent parser for the textual syntax used in the extended
+  DIMACS format (Fig. 2 of the paper).
+
+Expressions are immutable; all rewriting operations return new nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from fractions import Fraction
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float, Fraction]
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Neg",
+    "Pow",
+    "Call",
+    "Relation",
+    "Constraint",
+    "NonlinearExpressionError",
+    "EvaluationError",
+    "ExprParseError",
+    "LinearForm",
+    "parse_expression",
+    "parse_constraint",
+    "FUNCTION_TABLE",
+]
+
+
+class NonlinearExpressionError(Exception):
+    """Raised when a linear form is requested from a nonlinear expression."""
+
+
+class EvaluationError(Exception):
+    """Raised when an expression cannot be evaluated (free var, div by zero)."""
+
+
+class ExprParseError(Exception):
+    """Raised on malformed textual expressions or constraints."""
+
+
+#: Unary functions supported by :class:`Call`.  The paper names sin/cos/exp as
+#: the canonical extensions; the remainder follow the same pattern and each
+#: took "less than an hour of programming effort", as promised.
+FUNCTION_TABLE: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "tanh": math.tanh,
+}
+
+
+def _coerce(value: Union["Expr", Number]) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        return Const(value)
+    raise TypeError(f"cannot build an expression from {value!r}")
+
+
+class Expr:
+    """Base class of all arithmetic expression nodes.
+
+    Subclasses implement :meth:`evaluate`, :meth:`diff`, :meth:`children` and
+    the printing hooks.  Instances are immutable and hashable so they can be
+    shared freely between circuit gates and constraint systems.
+    """
+
+    __slots__ = ()
+
+    # -- construction via operators ------------------------------------
+    def __add__(self, other: Union["Expr", Number]) -> "Expr":
+        return Add(self, _coerce(other))
+
+    def __radd__(self, other: Number) -> "Expr":
+        return Add(_coerce(other), self)
+
+    def __sub__(self, other: Union["Expr", Number]) -> "Expr":
+        return Sub(self, _coerce(other))
+
+    def __rsub__(self, other: Number) -> "Expr":
+        return Sub(_coerce(other), self)
+
+    def __mul__(self, other: Union["Expr", Number]) -> "Expr":
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other: Number) -> "Expr":
+        return Mul(_coerce(other), self)
+
+    def __truediv__(self, other: Union["Expr", Number]) -> "Expr":
+        return Div(self, _coerce(other))
+
+    def __rtruediv__(self, other: Number) -> "Expr":
+        return Div(_coerce(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+    def __pow__(self, exponent: int) -> "Expr":
+        return Pow(self, exponent)
+
+    # -- comparisons build constraints ----------------------------------
+    def __lt__(self, other: Union["Expr", Number]) -> "Constraint":
+        return Constraint(self, Relation.LT, _coerce(other))
+
+    def __le__(self, other: Union["Expr", Number]) -> "Constraint":
+        return Constraint(self, Relation.LE, _coerce(other))
+
+    def __gt__(self, other: Union["Expr", Number]) -> "Constraint":
+        return Constraint(self, Relation.GT, _coerce(other))
+
+    def __ge__(self, other: Union["Expr", Number]) -> "Constraint":
+        return Constraint(self, Relation.GE, _coerce(other))
+
+    def eq(self, other: Union["Expr", Number]) -> "Constraint":
+        """Build an equality constraint (``==`` is kept for structural use)."""
+        return Constraint(self, Relation.EQ, _coerce(other))
+
+    # -- core protocol ---------------------------------------------------
+    def children(self) -> Tuple["Expr", ...]:
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        """Evaluate under ``env``; raises :class:`EvaluationError` on failure."""
+        raise NotImplementedError
+
+    def diff(self, var: str) -> "Expr":
+        """Symbolic partial derivative with respect to ``var``."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Replace variables by expressions (simultaneous substitution)."""
+        raise NotImplementedError
+
+    # -- derived operations ----------------------------------------------
+    def variables(self) -> "set[str]":
+        """The set of free variable names in the expression."""
+        result: set[str] = set()
+        stack: List[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                result.add(node.name)
+            else:
+                stack.extend(node.children())
+        return result
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal over all nodes."""
+        stack: List[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Number of AST nodes; a rough complexity measure used in stats."""
+        return sum(1 for _ in self.walk())
+
+    def is_linear(self) -> bool:
+        """True when the expression is an affine function of its variables."""
+        try:
+            self.linear_form()
+            return True
+        except NonlinearExpressionError:
+            return False
+
+    def linear_form(self) -> "LinearForm":
+        """Extract coefficients; raises if the expression is not affine."""
+        return _linear_form(self)
+
+    def simplify(self) -> "Expr":
+        """Constant folding and identity elimination (single bottom-up pass)."""
+        return _simplify(self)
+
+    # printing ------------------------------------------------------------
+    def _precedence(self) -> int:
+        raise NotImplementedError
+
+    def _to_str(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self._to_str()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._to_str()!r})"
+
+
+class Const(Expr):
+    """A numeric literal.  Integer-valued floats print without decimals."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number):
+        if isinstance(value, bool) or not isinstance(value, (int, float, Fraction)):
+            raise TypeError(f"Const requires a number, got {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Const is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return float(self.value)
+
+    def diff(self, var: str) -> Expr:
+        return Const(0)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def _precedence(self) -> int:
+        return 100 if float(self.value) >= 0 else 5
+
+    def _to_str(self) -> str:
+        value = self.value
+        if isinstance(value, Fraction):
+            if value.denominator == 1:
+                return str(value.numerator)
+            return f"{value.numerator}/{value.denominator}"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and float(other.value) == float(self.value)
+
+    def __hash__(self) -> int:
+        return hash(("Const", float(self.value)))
+
+
+class Var(Expr):
+    """A named real- or integer-valued variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise TypeError("variable name must be a non-empty string")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Var is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        try:
+            return float(env[self.name])
+        except KeyError:
+            raise EvaluationError(f"variable {self.name!r} has no value") from None
+
+    def diff(self, var: str) -> Expr:
+        return Const(1 if var == self.name else 0)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def _precedence(self) -> int:
+        return 100
+
+    def _to_str(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class _Binary(Expr):
+    __slots__ = ("lhs", "rhs")
+    _symbol = "?"
+    _prec = 0
+
+    def __init__(self, lhs: Union[Expr, Number], rhs: Union[Expr, Number]):
+        object.__setattr__(self, "lhs", _coerce(lhs))
+        object.__setattr__(self, "rhs", _coerce(rhs))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return type(self)(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+
+    def _precedence(self) -> int:
+        return self._prec
+
+    def _to_str(self) -> str:
+        left = self.lhs._to_str()
+        right = self.rhs._to_str()
+        if self.lhs._precedence() < self._prec:
+            left = f"({left})"
+        # Right operand of -, / needs parens at equal precedence too.
+        right_min = self._prec + (1 if self._symbol in ("-", "/") else 0)
+        if self.rhs._precedence() < right_min:
+            right = f"({right})"
+        return f"{left} {self._symbol} {right}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.lhs == self.lhs  # type: ignore[attr-defined]
+            and other.rhs == self.rhs  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.lhs, self.rhs))
+
+
+class Add(_Binary):
+    """Binary addition."""
+
+    __slots__ = ()
+    _symbol = "+"
+    _prec = 10
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.lhs.evaluate(env) + self.rhs.evaluate(env)
+
+    def diff(self, var: str) -> Expr:
+        return Add(self.lhs.diff(var), self.rhs.diff(var))
+
+
+class Sub(_Binary):
+    """Binary subtraction."""
+
+    __slots__ = ()
+    _symbol = "-"
+    _prec = 10
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.lhs.evaluate(env) - self.rhs.evaluate(env)
+
+    def diff(self, var: str) -> Expr:
+        return Sub(self.lhs.diff(var), self.rhs.diff(var))
+
+
+class Mul(_Binary):
+    """Binary multiplication."""
+
+    __slots__ = ()
+    _symbol = "*"
+    _prec = 20
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.lhs.evaluate(env) * self.rhs.evaluate(env)
+
+    def diff(self, var: str) -> Expr:
+        return Add(Mul(self.lhs.diff(var), self.rhs), Mul(self.lhs, self.rhs.diff(var)))
+
+
+class Div(_Binary):
+    """Binary division; evaluation raises on a zero denominator."""
+
+    __slots__ = ()
+    _symbol = "/"
+    _prec = 20
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        denominator = self.rhs.evaluate(env)
+        if denominator == 0.0:
+            raise EvaluationError(f"division by zero in {self}")
+        return self.lhs.evaluate(env) / denominator
+
+    def diff(self, var: str) -> Expr:
+        # (u / v)' = (u' v - u v') / v^2
+        numerator = Sub(Mul(self.lhs.diff(var), self.rhs), Mul(self.lhs, self.rhs.diff(var)))
+        return Div(numerator, Mul(self.rhs, self.rhs))
+
+
+class Neg(Expr):
+    """Unary negation."""
+
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: Union[Expr, Number]):
+        object.__setattr__(self, "arg", _coerce(arg))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Neg is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.arg,)
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return -self.arg.evaluate(env)
+
+    def diff(self, var: str) -> Expr:
+        return Neg(self.arg.diff(var))
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Neg(self.arg.substitute(mapping))
+
+    def _precedence(self) -> int:
+        return 30
+
+    def _to_str(self) -> str:
+        inner = self.arg._to_str()
+        if self.arg._precedence() < 30:
+            inner = f"({inner})"
+        return f"-{inner}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Neg) and other.arg == self.arg
+
+    def __hash__(self) -> int:
+        return hash(("Neg", self.arg))
+
+
+class Pow(Expr):
+    """Integer power ``base ** exponent`` with a literal exponent.
+
+    Only non-negative integer exponents are supported; this keeps
+    differentiation and interval evaluation simple while covering the
+    polynomial constraints that arise from physical environment models.
+    """
+
+    __slots__ = ("base", "exponent")
+
+    def __init__(self, base: Union[Expr, Number], exponent: int):
+        if not isinstance(exponent, int) or exponent < 0:
+            raise TypeError("Pow exponent must be a non-negative int")
+        object.__setattr__(self, "base", _coerce(base))
+        object.__setattr__(self, "exponent", exponent)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Pow is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.base,)
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        return self.base.evaluate(env) ** self.exponent
+
+    def diff(self, var: str) -> Expr:
+        if self.exponent == 0:
+            return Const(0)
+        return Mul(Mul(Const(self.exponent), Pow(self.base, self.exponent - 1)), self.base.diff(var))
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Pow(self.base.substitute(mapping), self.exponent)
+
+    def _precedence(self) -> int:
+        return 40
+
+    def _to_str(self) -> str:
+        inner = self.base._to_str()
+        if self.base._precedence() < 40:
+            inner = f"({inner})"
+        return f"{inner}^{self.exponent}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pow) and other.base == self.base and other.exponent == self.exponent
+
+    def __hash__(self) -> int:
+        return hash(("Pow", self.base, self.exponent))
+
+
+#: Symbolic derivatives for the functions in :data:`FUNCTION_TABLE`.
+_DERIVATIVES: Dict[str, Callable[["Expr"], Expr]] = {
+    "sin": lambda arg: Call("cos", arg),
+    "cos": lambda arg: Neg(Call("sin", arg)),
+    "tan": lambda arg: Div(Const(1), Mul(Call("cos", arg), Call("cos", arg))),
+    "exp": lambda arg: Call("exp", arg),
+    "log": lambda arg: Div(Const(1), arg),
+    "sqrt": lambda arg: Div(Const(0.5), Call("sqrt", arg)),
+    "tanh": lambda arg: Sub(Const(1), Mul(Call("tanh", arg), Call("tanh", arg))),
+}
+
+
+class Call(Expr):
+    """Application of a unary function from :data:`FUNCTION_TABLE`."""
+
+    __slots__ = ("function", "arg")
+
+    def __init__(self, function: str, arg: Union[Expr, Number]):
+        if function not in FUNCTION_TABLE:
+            raise ValueError(f"unknown function {function!r}; known: {sorted(FUNCTION_TABLE)}")
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "arg", _coerce(arg))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Call is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.arg,)
+
+    def evaluate(self, env: Mapping[str, Number]) -> float:
+        value = self.arg.evaluate(env)
+        try:
+            return FUNCTION_TABLE[self.function](value)
+        except ValueError as exc:
+            raise EvaluationError(f"{self.function}({value}) is undefined") from exc
+
+    def diff(self, var: str) -> Expr:
+        if self.function == "abs":
+            raise NonlinearExpressionError("abs is not differentiable at 0; rewrite before solving")
+        outer = _DERIVATIVES[self.function](self.arg)
+        return Mul(outer, self.arg.diff(var))
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return Call(self.function, self.arg.substitute(mapping))
+
+    def _precedence(self) -> int:
+        return 100
+
+    def _to_str(self) -> str:
+        return f"{self.function}({self.arg._to_str()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Call) and other.function == self.function and other.arg == self.arg
+
+    def __hash__(self) -> int:
+        return hash(("Call", self.function, self.arg))
+
+
+# ----------------------------------------------------------------------
+# Linearity analysis
+# ----------------------------------------------------------------------
+class LinearForm:
+    """An affine expression ``sum(coeffs[v] * v) + constant``.
+
+    Coefficients are exact :class:`~fractions.Fraction` values whenever the
+    source literals were ints/Fractions, so the simplex solver can run in
+    exact arithmetic.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[str, Fraction], constant: Fraction):
+        self.coeffs: Dict[str, Fraction] = {v: c for v, c in coeffs.items() if c != 0}
+        self.constant = constant
+
+    def variables(self) -> "set[str]":
+        return set(self.coeffs)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        total = self.constant
+        for name, coeff in self.coeffs.items():
+            total += coeff * Fraction(env[name])
+        return total
+
+    def scaled(self, factor: Fraction) -> "LinearForm":
+        return LinearForm({v: c * factor for v, c in self.coeffs.items()}, self.constant * factor)
+
+    def plus(self, other: "LinearForm") -> "LinearForm":
+        coeffs = dict(self.coeffs)
+        for name, coeff in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + coeff
+        return LinearForm(coeffs, self.constant + other.constant)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinearForm)
+            and other.coeffs == self.coeffs
+            and other.constant == self.constant
+        )
+
+    def __repr__(self) -> str:
+        terms = [f"{coeff}*{name}" for name, coeff in sorted(self.coeffs.items())]
+        terms.append(str(self.constant))
+        return "LinearForm(" + " + ".join(terms) + ")"
+
+
+def _to_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**12)
+
+
+def _linear_form(expr: Expr) -> LinearForm:
+    if isinstance(expr, Const):
+        return LinearForm({}, _to_fraction(expr.value))
+    if isinstance(expr, Var):
+        return LinearForm({expr.name: Fraction(1)}, Fraction(0))
+    if isinstance(expr, Neg):
+        return _linear_form(expr.arg).scaled(Fraction(-1))
+    if isinstance(expr, Add):
+        return _linear_form(expr.lhs).plus(_linear_form(expr.rhs))
+    if isinstance(expr, Sub):
+        return _linear_form(expr.lhs).plus(_linear_form(expr.rhs).scaled(Fraction(-1)))
+    if isinstance(expr, Mul):
+        left, right = _linear_form(expr.lhs), _linear_form(expr.rhs)
+        if not left.coeffs:
+            return right.scaled(left.constant)
+        if not right.coeffs:
+            return left.scaled(right.constant)
+        raise NonlinearExpressionError(f"product of variables in {expr}")
+    if isinstance(expr, Div):
+        right = _linear_form(expr.rhs)
+        if right.coeffs:
+            raise NonlinearExpressionError(f"variable denominator in {expr}")
+        if right.constant == 0:
+            raise NonlinearExpressionError(f"constant zero denominator in {expr}")
+        return _linear_form(expr.lhs).scaled(Fraction(1) / right.constant)
+    if isinstance(expr, Pow):
+        base = _linear_form(expr.base)
+        if base.coeffs and expr.exponent > 1:
+            raise NonlinearExpressionError(f"power of a variable in {expr}")
+        if expr.exponent == 0:
+            return LinearForm({}, Fraction(1))
+        if expr.exponent == 1:
+            return base
+        return LinearForm({}, base.constant**expr.exponent)
+    if isinstance(expr, Call):
+        arg = _linear_form(expr.arg)
+        if arg.coeffs:
+            raise NonlinearExpressionError(f"transcendental function of a variable in {expr}")
+        value = FUNCTION_TABLE[expr.function](float(arg.constant))
+        return LinearForm({}, _to_fraction(value))
+    raise NonlinearExpressionError(f"unsupported node {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Simplification
+# ----------------------------------------------------------------------
+def _simplify(expr: Expr) -> Expr:
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Neg):
+        arg = _simplify(expr.arg)
+        if isinstance(arg, Const):
+            return Const(-arg.value)
+        if isinstance(arg, Neg):
+            return arg.arg
+        return Neg(arg)
+    if isinstance(expr, Pow):
+        base = _simplify(expr.base)
+        if expr.exponent == 0:
+            return Const(1)
+        if expr.exponent == 1:
+            return base
+        if isinstance(base, Const):
+            return Const(base.value**expr.exponent)
+        return Pow(base, expr.exponent)
+    if isinstance(expr, Call):
+        arg = _simplify(expr.arg)
+        if isinstance(arg, Const):
+            try:
+                return Const(FUNCTION_TABLE[expr.function](float(arg.value)))
+            except ValueError:
+                return Call(expr.function, arg)
+        return Call(expr.function, arg)
+    if isinstance(expr, _Binary):
+        lhs, rhs = _simplify(expr.lhs), _simplify(expr.rhs)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            try:
+                folded = type(expr)(lhs, rhs).evaluate({})
+            except EvaluationError:
+                return type(expr)(lhs, rhs)
+            return Const(folded)
+        if isinstance(expr, Add):
+            if isinstance(lhs, Const) and float(lhs.value) == 0:
+                return rhs
+            if isinstance(rhs, Const) and float(rhs.value) == 0:
+                return lhs
+        elif isinstance(expr, Sub):
+            if isinstance(rhs, Const) and float(rhs.value) == 0:
+                return lhs
+            if lhs == rhs:
+                return Const(0)
+        elif isinstance(expr, Mul):
+            for side, other in ((lhs, rhs), (rhs, lhs)):
+                if isinstance(side, Const):
+                    if float(side.value) == 0:
+                        return Const(0)
+                    if float(side.value) == 1:
+                        return other
+        elif isinstance(expr, Div):
+            if isinstance(rhs, Const) and float(rhs.value) == 1:
+                return lhs
+            if isinstance(lhs, Const) and float(lhs.value) == 0:
+                if not isinstance(rhs, Const) or float(rhs.value) != 0:
+                    return Const(0)
+        return type(expr)(lhs, rhs)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Constraints
+# ----------------------------------------------------------------------
+class Relation(enum.Enum):
+    """Comparison operators from the paper's grammar: ``< > <= >= =``."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+    @staticmethod
+    def from_symbol(symbol: str) -> "Relation":
+        normalized = {"==": "="}.get(symbol, symbol)
+        for member in Relation:
+            if member.value == normalized:
+                return member
+        raise ExprParseError(f"unknown relation {symbol!r}")
+
+    def flipped(self) -> "Relation":
+        """The relation with operands swapped (``a < b``  ==  ``b > a``)."""
+        return {
+            Relation.LT: Relation.GT,
+            Relation.GT: Relation.LT,
+            Relation.LE: Relation.GE,
+            Relation.GE: Relation.LE,
+            Relation.EQ: Relation.EQ,
+        }[self]
+
+    def holds(self, lhs: float, rhs: float, tolerance: float = 0.0) -> bool:
+        """Numeric check with an absolute tolerance for float candidates."""
+        if self is Relation.LT:
+            return lhs < rhs + tolerance
+        if self is Relation.GT:
+            return lhs > rhs - tolerance
+        if self is Relation.LE:
+            return lhs <= rhs + tolerance
+        if self is Relation.GE:
+            return lhs >= rhs - tolerance
+        return abs(lhs - rhs) <= tolerance
+
+
+class Constraint:
+    """An atomic arithmetic constraint ``lhs REL rhs``.
+
+    The negation of an equality is the disjunction ``lhs < rhs  or  lhs > rhs``
+    (paper, Sec. 1); :meth:`negated_alternatives` returns that case split so
+    the control loop can enumerate it.
+    """
+
+    __slots__ = ("lhs", "relation", "rhs")
+
+    def __init__(self, lhs: Union[Expr, Number], relation: Relation, rhs: Union[Expr, Number]):
+        self.lhs = _coerce(lhs)
+        self.relation = relation
+        self.rhs = _coerce(rhs)
+
+    # -- analysis ---------------------------------------------------------
+    def variables(self) -> "set[str]":
+        return self.lhs.variables() | self.rhs.variables()
+
+    def is_linear(self) -> bool:
+        return self.lhs.is_linear() and self.rhs.is_linear()
+
+    def normalized_expr(self) -> Expr:
+        """The difference ``lhs - rhs``, so the constraint reads ``expr REL 0``."""
+        return Sub(self.lhs, self.rhs).simplify()
+
+    def linear_form(self) -> LinearForm:
+        """Linear form of ``lhs - rhs`` (raises for nonlinear constraints)."""
+        return self.normalized_expr().linear_form()
+
+    def negated_alternatives(self) -> List["Constraint"]:
+        """Constraints whose disjunction is the negation of this constraint."""
+        if self.relation is Relation.EQ:
+            return [
+                Constraint(self.lhs, Relation.LT, self.rhs),
+                Constraint(self.lhs, Relation.GT, self.rhs),
+            ]
+        opposite = {
+            Relation.LT: Relation.GE,
+            Relation.LE: Relation.GT,
+            Relation.GT: Relation.LE,
+            Relation.GE: Relation.LT,
+        }[self.relation]
+        return [Constraint(self.lhs, opposite, self.rhs)]
+
+    def evaluate(self, env: Mapping[str, Number], tolerance: float = 0.0) -> bool:
+        """Check the constraint at a concrete point."""
+        return self.relation.holds(self.lhs.evaluate(env), self.rhs.evaluate(env), tolerance)
+
+    def substitute(self, mapping: Mapping[str, Expr]) -> "Constraint":
+        return Constraint(self.lhs.substitute(mapping), self.relation, self.rhs.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.relation.value} {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"Constraint({self!s})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and other.lhs == self.lhs
+            and other.relation is self.relation
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.relation, self.rhs))
+
+
+# ----------------------------------------------------------------------
+# Parser (textual syntax of Fig. 2)
+# ----------------------------------------------------------------------
+_COMPARISONS = ("<=", ">=", "==", "<", ">", "=")
+
+
+class _Tokenizer:
+    """Splits an expression string into tokens; whitespace-insensitive."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: List[str] = []
+        self._scan()
+        self.index = 0
+
+    def _scan(self) -> None:
+        text, i, n = self.text, 0, len(self.text)
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+                j = i
+                seen_dot = False
+                while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                    seen_dot = seen_dot or text[j] == "."
+                    j += 1
+                # scientific notation
+                if j < n and text[j] in "eE":
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        while k < n and text[k].isdigit():
+                            k += 1
+                        j = k
+                self.tokens.append(text[i:j])
+                i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] in "_."):
+                    j += 1
+                self.tokens.append(text[i:j])
+                i = j
+                continue
+            two = text[i : i + 2]
+            if two in ("<=", ">=", "=="):
+                self.tokens.append(two)
+                i += 2
+                continue
+            if ch in "+-*/()<>=^":
+                self.tokens.append(ch)
+                i += 1
+                continue
+            raise ExprParseError(f"unexpected character {ch!r} at offset {i} in {self.text!r}")
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExprParseError(f"unexpected end of input in {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ExprParseError(f"expected {token!r}, got {got!r} in {self.text!r}")
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_sum(tok: _Tokenizer) -> Expr:
+    expr = _parse_term(tok)
+    while tok.peek() in ("+", "-"):
+        op = tok.next()
+        rhs = _parse_term(tok)
+        expr = Add(expr, rhs) if op == "+" else Sub(expr, rhs)
+    return expr
+
+
+def _parse_term(tok: _Tokenizer) -> Expr:
+    expr = _parse_power(tok)
+    while tok.peek() in ("*", "/"):
+        op = tok.next()
+        rhs = _parse_power(tok)
+        expr = Mul(expr, rhs) if op == "*" else Div(expr, rhs)
+    return expr
+
+
+def _parse_power(tok: _Tokenizer) -> Expr:
+    base = _parse_atom(tok)
+    if tok.peek() == "^":
+        tok.next()
+        exponent_token = tok.next()
+        try:
+            exponent = int(exponent_token)
+        except ValueError:
+            raise ExprParseError(f"power exponent must be an integer literal, got {exponent_token!r}")
+        return Pow(base, exponent)
+    return base
+
+
+def _parse_atom(tok: _Tokenizer) -> Expr:
+    token = tok.next()
+    if token == "(":
+        inner = _parse_sum(tok)
+        tok.expect(")")
+        return inner
+    if token == "-":
+        return Neg(_parse_power(tok))
+    if token == "+":
+        return _parse_power(tok)
+    first = token[0]
+    if first.isdigit() or first == ".":
+        if any(c in token for c in ".eE"):
+            return Const(float(token))
+        return Const(int(token))
+    if first.isalpha() or first == "_":
+        if token in FUNCTION_TABLE and tok.peek() == "(":
+            tok.next()
+            arg = _parse_sum(tok)
+            tok.expect(")")
+            return Call(token, arg)
+        return Var(token)
+    raise ExprParseError(f"unexpected token {token!r}")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse an arithmetic expression such as ``a * x + 3.5 / (4 - y)``."""
+    tok = _Tokenizer(text)
+    expr = _parse_sum(tok)
+    if not tok.done():
+        raise ExprParseError(f"trailing input {tok.peek()!r} in {text!r}")
+    return expr
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a constraint such as ``2*i + j < 10`` (exactly one comparison)."""
+    tok = _Tokenizer(text)
+    lhs = _parse_sum(tok)
+    symbol = tok.next()
+    if symbol not in _COMPARISONS:
+        raise ExprParseError(f"expected a comparison operator, got {symbol!r} in {text!r}")
+    rhs = _parse_sum(tok)
+    if not tok.done():
+        raise ExprParseError(f"trailing input {tok.peek()!r} in {text!r}")
+    return Constraint(lhs, Relation.from_symbol(symbol), rhs)

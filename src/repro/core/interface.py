@@ -1,0 +1,501 @@
+"""The solver interface layer (paper, Sec. 4 / Fig. 4).
+
+"To ensure extensibility to new solvers the communication between the tools
+is restricted to the well-defined interface that provides the circuit, a
+data structure for returning solutions, and a structure to support
+refinement of conflicts detected by a solver."
+
+This module defines those three things for each domain, plus adapters that
+wrap the concrete substrate solvers (CDCL/DPLL/all-SAT, simplex/B&B,
+Newton/augmented-Lagrangian/scipy) behind them.  The registry
+(:mod:`repro.core.registry`) instantiates adapters by name, which is how a
+user selects "the most appropriate solver for a given task".
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..linear.branch_bound import BranchAndBoundSolver
+from ..linear.iis import extract_iis
+from ..linear.lp import LinearConstraint, LinearSystem
+from ..linear.simplex import LPResult, LPStatus, SimplexSolver
+from ..nonlinear.auglag import AugmentedLagrangianSolver, Bounds, NLPResult, NLPStatus
+from ..nonlinear.newton import NewtonSolver
+from ..sat.allsat import AllSATSolver
+from ..sat.cdcl import CDCLSolver
+from ..sat.cnf import CNF, Assignment
+from ..sat.dpll import DPLLSolver
+from .expr import Constraint
+
+__all__ = [
+    "Refinement",
+    "BooleanSolverInterface",
+    "LinearSolverInterface",
+    "NonlinearSolverInterface",
+    "CDCLBooleanAdapter",
+    "DPLLBooleanAdapter",
+    "LSATBooleanAdapter",
+    "SimplexLinearAdapter",
+    "BranchBoundLinearAdapter",
+    "NewtonNonlinearAdapter",
+    "AugLagNonlinearAdapter",
+    "ScipyNonlinearAdapter",
+    "UnsupportedTheoryError",
+]
+
+
+class UnsupportedTheoryError(Exception):
+    """A solver was handed constraints outside its supported theory.
+
+    This is the error CVC Lite and MathSAT raise (behaviourally) on the
+    paper's nonlinear benchmarks — "both CVC Lite and MathSAT rejected the
+    problems due to the nonlinear arithmetic inequalities" (Sec. 5.1).
+    """
+
+
+class Refinement:
+    """Conflict-refinement structure returned by theory solvers.
+
+    ``conflicting_tags`` are the origin tags (signed Boolean literals) of an
+    infeasible constraint subset; the control loop turns them into a
+    blocking clause.  ``minimal`` records whether the subset is an IIS or a
+    coarse full-assignment conflict (the refinement ablation toggles this).
+    """
+
+    def __init__(self, conflicting_tags: Sequence[int], minimal: bool):
+        self.conflicting_tags = list(conflicting_tags)
+        self.minimal = minimal
+
+    def blocking_clause(self) -> List[int]:
+        """Clause forbidding the conflicting combination: OR of negations."""
+        return [-tag for tag in self.conflicting_tags]
+
+    def __repr__(self) -> str:
+        kind = "IIS" if self.minimal else "full"
+        return f"Refinement({kind}, tags={self.conflicting_tags})"
+
+
+# ----------------------------------------------------------------------
+# Abstract interfaces
+# ----------------------------------------------------------------------
+class BooleanSolverInterface(abc.ABC):
+    """Boolean-domain solver contract: single models and (optionally) all."""
+
+    name = "boolean"
+
+    @abc.abstractmethod
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        """One satisfying assignment, or None."""
+
+    @abc.abstractmethod
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a (blocking/refinement) clause for subsequent solve calls."""
+
+    def set_frozen_variables(self, variables: Sequence[int]) -> None:
+        """Declare variables whose values carry external semantics.
+
+        The control loop announces the arithmetic-definition variables here
+        before the first solve; preprocessing adapters must not eliminate
+        them (their values route theory constraints).  Default: ignored.
+        """
+
+    def all_models(self, cnf: CNF) -> Iterator[Assignment]:
+        """All satisfying assignments; default is not supported.
+
+        Solvers without native all-SAT raise; the control loop then falls
+        back to its own bookkeeping (iterated blocking clauses), exactly the
+        trade-off the paper describes for non-LSAT solvers.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no native all-SAT")
+
+    @property
+    def supports_all_models(self) -> bool:
+        return type(self).all_models is not BooleanSolverInterface.all_models
+
+
+class LinearSolverInterface(abc.ABC):
+    """Linear-domain solver contract: feasibility + conflict refinement."""
+
+    name = "linear"
+
+    @abc.abstractmethod
+    def check(self, system: LinearSystem) -> LPResult:
+        """Decide feasibility; on success the result carries a point."""
+
+    @abc.abstractmethod
+    def refine(self, system: LinearSystem) -> Refinement:
+        """Explain an infeasibility (called only after a failed check)."""
+
+
+class NonlinearSolverInterface(abc.ABC):
+    """Nonlinear-domain solver contract: local feasibility search."""
+
+    name = "nonlinear"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        constraints: Sequence[Constraint],
+        bounds: Optional[Bounds] = None,
+        hints: Optional[Sequence[Mapping[str, float]]] = None,
+    ) -> NLPResult:
+        """Search for a satisfying point; UNKNOWN when none was found."""
+
+    def applicable(self, constraints: Sequence[Constraint]) -> bool:
+        """Whether this solver wants to try the given subset (solver lists)."""
+        return True
+
+
+# ----------------------------------------------------------------------
+# Boolean adapters
+# ----------------------------------------------------------------------
+class CDCLBooleanAdapter(BooleanSolverInterface):
+    """zChaff stand-in: incremental CDCL."""
+
+    name = "cdcl"
+
+    def __init__(self, **options):
+        self._options = options
+        self._solver: Optional[CDCLSolver] = None
+
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        if self._solver is None:
+            self._solver = CDCLSolver(cnf, **self._options)
+        return self._solver.solve(assumptions)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        if self._solver is None:
+            raise RuntimeError("add_clause before the first solve call")
+        self._solver.add_clause(literals)
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        if self._solver is None:
+            return {}
+        return {
+            "conflicts": self._solver.conflicts,
+            "decisions": self._solver.decisions,
+            "propagations": self._solver.propagations,
+            "restarts": self._solver.restarts,
+            "learned_clauses": self._solver.learned_clauses,
+        }
+
+
+class PreprocessingCDCLAdapter(BooleanSolverInterface):
+    """CDCL behind a SatELite-style preprocessor (``cdcl-pre``).
+
+    The first solve runs unit propagation / pure literals / subsumption /
+    bounded variable elimination over the input CNF (frozen variables — the
+    arithmetic definitions — are preserved), searches the simplified
+    formula, and reconstructs a full model.  Blocking clauses added later
+    go to the live solver; they only mention frozen variables, so
+    reconstruction stays valid.
+    """
+
+    name = "cdcl-pre"
+
+    def __init__(self, **options):
+        self._options = options
+        self._solver: Optional[CDCLSolver] = None
+        self._frozen: set = set()
+        self._result = None  # PreprocessResult
+        self._unsat = False
+
+    def set_frozen_variables(self, variables: Sequence[int]) -> None:
+        self._frozen = set(variables)
+
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        from ..sat.preprocess import Preprocessor
+
+        if self._unsat:
+            return None
+        if self._solver is None:
+            self._result = Preprocessor(frozen=self._frozen).run(cnf)
+            if self._result.unsat:
+                self._unsat = True
+                return None
+            self._solver = CDCLSolver(self._result.cnf, **self._options)
+        # Assumptions must be translated through the preprocessing: forced
+        # variables are evaluated here, eliminated ones cannot be assumed.
+        effective: List[int] = []
+        eliminated = {var for var, _ in self._result.eliminated}
+        for literal in assumptions:
+            var = abs(literal)
+            if var in self._result.forced:
+                if self._result.forced[var] != (literal > 0):
+                    return None  # assumption contradicts a level-0 fact
+                continue
+            if var in eliminated:
+                raise RuntimeError(
+                    f"assumption mentions eliminated variable {var}; declare "
+                    "it frozen via set_frozen_variables before solving"
+                )
+            effective.append(literal)
+        model = self._solver.solve(effective)
+        if model is None:
+            return None
+        return self._result.extend_model(model)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        if self._solver is None or self._result is None:
+            raise RuntimeError("add_clause before the first solve call")
+        # Literals over variables the preprocessor fixed at level 0 must be
+        # evaluated here: a clause whose surviving literals are all
+        # forced-false makes the (original) formula UNSAT, and a satisfied
+        # clause is dropped — the inner solver no longer tracks those vars.
+        eliminated = {var for var, _ in self._result.eliminated}
+        remaining: List[int] = []
+        for literal in literals:
+            var = abs(literal)
+            if var in self._result.forced:
+                if self._result.forced[var] == (literal > 0):
+                    return  # clause already satisfied at level 0
+                continue  # literal is false; drop it
+            if var in eliminated:
+                raise RuntimeError(
+                    f"clause mentions eliminated variable {var}; declare it "
+                    "frozen via set_frozen_variables before solving"
+                )
+            remaining.append(literal)
+        if not remaining:
+            self._unsat = True
+            return
+        self._solver.add_clause(remaining)
+
+
+class DPLLBooleanAdapter(BooleanSolverInterface):
+    """Plain DPLL; mostly for testing and tiny problems."""
+
+    name = "dpll"
+
+    def __init__(self, **options):
+        self._solver = DPLLSolver(**options)
+        self._cnf: Optional[CNF] = None
+
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        if self._cnf is None:
+            self._cnf = cnf.copy()
+        return self._solver.solve(self._cnf, tuple(assumptions))
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        if self._cnf is None:
+            raise RuntimeError("add_clause before the first solve call")
+        self._cnf.add_clause(literals)
+
+
+class LSATBooleanAdapter(BooleanSolverInterface):
+    """LSAT stand-in: native all-solutions enumeration with minimization."""
+
+    name = "lsat"
+
+    def __init__(self, minimize: bool = True, **options):
+        self._minimize = minimize
+        self._options = options
+        self._delegate = CDCLBooleanAdapter(**options)
+
+    def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        return self._delegate.solve(cnf, assumptions)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        self._delegate.add_clause(literals)
+
+    def all_models(self, cnf: CNF) -> Iterator[Assignment]:
+        return AllSATSolver(cnf, minimize=self._minimize).enumerate()
+
+
+# ----------------------------------------------------------------------
+# Linear adapters
+# ----------------------------------------------------------------------
+class SimplexLinearAdapter(LinearSolverInterface):
+    """COIN stand-in: exact simplex, B&B when integer variables occur,
+    deletion-filter IIS refinement.
+
+    Systems are first partitioned into connected components of shared
+    variables and solved independently — exact, and it keeps the dense
+    tableau small on loosely-coupled systems (each Sudoku cell's rows form
+    their own component).
+    """
+
+    name = "simplex"
+
+    def __init__(
+        self,
+        refine_minimal: bool = True,
+        max_bb_nodes: int = 100_000,
+        use_presolve: bool = False,
+    ):
+        self.refine_minimal = refine_minimal
+        self.use_presolve = use_presolve
+        self._simplex = SimplexSolver()
+        self._branch_bound = BranchAndBoundSolver(max_nodes=max_bb_nodes, simplex=self._simplex)
+
+    def check(self, system: LinearSystem) -> LPResult:
+        merged_point: Dict[str, object] = {}
+        for component in system.split_components():
+            result = self._check_component(component)
+            if result.status is not LPStatus.FEASIBLE:
+                return result
+            merged_point.update(result.point)
+        return LPResult(LPStatus.FEASIBLE, merged_point)  # type: ignore[arg-type]
+
+    def _check_component(self, component: LinearSystem) -> LPResult:
+        if self.use_presolve:
+            from ..linear.presolve import presolve
+
+            reduction = presolve(component)
+            if reduction.infeasible:
+                return LPResult(LPStatus.INFEASIBLE)
+            assert reduction.system is not None
+            inner = self._solve_exact(reduction.system)
+            if inner.status is not LPStatus.FEASIBLE:
+                return inner
+            return LPResult(LPStatus.FEASIBLE, reduction.complete_point(inner.point))
+        return self._solve_exact(component)
+
+    def _solve_exact(self, component: LinearSystem) -> LPResult:
+        if component.integer_variables():
+            return self._branch_bound.check(component)
+        return self._simplex.check(component)
+
+    def refine(self, system: LinearSystem) -> Refinement:
+        if not self.refine_minimal:
+            tags = [row.tag for row in system.rows if isinstance(row.tag, int)]
+            return Refinement(tags, minimal=False)
+        for component in system.split_components():
+            if self._check_component(component).status is not LPStatus.FEASIBLE:
+                relaxed = self._real_relaxation_core(component)
+                if relaxed is not None:
+                    return relaxed
+                # LP-feasible but IP-infeasible component: block its rows.
+                tags = [row.tag for row in component.rows if isinstance(row.tag, int)]
+                return Refinement(tags, minimal=False)
+        # Should not happen (refine is called after a failed check); be safe.
+        tags = [row.tag for row in system.rows if isinstance(row.tag, int)]
+        return Refinement(tags, minimal=False)
+
+    def _real_relaxation_core(self, system: LinearSystem) -> Optional[Refinement]:
+        if self._simplex.check(system).status is not LPStatus.INFEASIBLE:
+            return None
+        core = extract_iis(system, self._simplex)
+        tags = [row.tag for row in core if isinstance(row.tag, int)]
+        return Refinement(tags, minimal=True)
+
+
+class DifferenceLinearAdapter(SimplexLinearAdapter):
+    """Difference-logic specialist with simplex fallback.
+
+    Components inside the QF_RDL fragment (``x - y REL c``) are decided by
+    Bellman–Ford negative-cycle search; a detected cycle *is* an IIS, so
+    conflict refinement is free.  Components outside the fragment fall back
+    to the exact simplex / branch-and-bound path.  This adapter is the
+    "reuse of expert knowledge" demonstration: selecting it makes the
+    FISCHER family dramatically cheaper without touching the control loop.
+    """
+
+    name = "difference"
+
+    def __init__(self, refine_minimal: bool = True, max_bb_nodes: int = 100_000):
+        super().__init__(refine_minimal=refine_minimal, max_bb_nodes=max_bb_nodes)
+        from ..linear.difference import DifferenceLogicSolver, is_difference_system
+
+        self._difference = DifferenceLogicSolver()
+        self._is_difference_system = is_difference_system
+
+    def _check_component(self, component: LinearSystem) -> LPResult:
+        if self._is_difference_system(component):
+            return self._difference.check(component)
+        return super()._check_component(component)
+
+    def refine(self, system: LinearSystem) -> Refinement:
+        for component in system.split_components():
+            if self._is_difference_system(component):
+                result = self._difference.check(component)
+                if result.status is LPStatus.INFEASIBLE:
+                    assert result.core_indices is not None
+                    tags = [
+                        component.rows[i].tag
+                        for i in result.core_indices
+                        if isinstance(component.rows[i].tag, int)
+                    ]
+                    return Refinement(tags, minimal=True)
+        return super().refine(system)
+
+
+class BranchBoundLinearAdapter(SimplexLinearAdapter):
+    """Alias adapter that always routes through branch-and-bound.
+
+    Registered separately so benchmark configurations can name it
+    explicitly; behaviour equals :class:`SimplexLinearAdapter` on systems
+    with integer variables.
+    """
+
+    name = "branch-bound"
+
+    def check(self, system: LinearSystem) -> LPResult:
+        return self._branch_bound.check(system)
+
+
+# ----------------------------------------------------------------------
+# Nonlinear adapters
+# ----------------------------------------------------------------------
+class NewtonNonlinearAdapter(NonlinearSolverInterface):
+    """Newton for square equality systems; first in the default solver list."""
+
+    name = "newton"
+
+    def __init__(self, **options):
+        self._solver = NewtonSolver(**options)
+
+    def applicable(self, constraints: Sequence[Constraint]) -> bool:
+        return NewtonSolver.applicable(constraints)
+
+    def solve(
+        self,
+        constraints: Sequence[Constraint],
+        bounds: Optional[Bounds] = None,
+        hints: Optional[Sequence[Mapping[str, float]]] = None,
+    ) -> NLPResult:
+        start = hints[0] if hints else None
+        result = self._solver.solve(constraints, start=start)
+        if result.converged:
+            return NLPResult(NLPStatus.SAT, result.point, residual=result.residual)
+        return NLPResult(NLPStatus.UNKNOWN, result.point, residual=result.residual)
+
+
+class AugLagNonlinearAdapter(NonlinearSolverInterface):
+    """IPOPT stand-in: the from-scratch augmented-Lagrangian engine."""
+
+    name = "auglag"
+
+    def __init__(self, **options):
+        self._solver = AugmentedLagrangianSolver(**options)
+
+    def solve(
+        self,
+        constraints: Sequence[Constraint],
+        bounds: Optional[Bounds] = None,
+        hints: Optional[Sequence[Mapping[str, float]]] = None,
+    ) -> NLPResult:
+        return self._solver.solve(constraints, bounds=bounds, hints=hints)
+
+
+class ScipyNonlinearAdapter(NonlinearSolverInterface):
+    """Optional scipy SLSQP backend (present only when scipy imports)."""
+
+    name = "scipy-slsqp"
+
+    def __init__(self, **options):
+        from ..nonlinear.scipy_backend import ScipySLSQPSolver
+
+        self._solver = ScipySLSQPSolver(**options)
+
+    def solve(
+        self,
+        constraints: Sequence[Constraint],
+        bounds: Optional[Bounds] = None,
+        hints: Optional[Sequence[Mapping[str, float]]] = None,
+    ) -> NLPResult:
+        return self._solver.solve(constraints, bounds=bounds, hints=hints)

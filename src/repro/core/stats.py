@@ -1,0 +1,58 @@
+"""Solve-run statistics and timing for the ABsolver control loop."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["SolveStatistics"]
+
+
+class SolveStatistics:
+    """Counters and per-domain wall-clock accumulated during one solve.
+
+    The benchmark harness prints these next to each table row, which is how
+    we explain *why* a configuration is fast or slow (e.g. the SMT-LIB
+    discussion in Sec. 5.2: "many Boolean solutions need to be examined
+    first").
+    """
+
+    def __init__(self) -> None:
+        self.boolean_queries = 0
+        self.linear_checks = 0
+        self.nonlinear_calls = 0
+        self.interval_refutations = 0
+        self.conflicts_refined = 0
+        self.blocking_clauses = 0
+        self.equality_splits = 0
+        self.models_enumerated = 0
+        self.timers: Dict[str, float] = {}
+
+    @contextmanager
+    def timed(self, key: str) -> Iterator[None]:
+        """Accumulate wall-clock time under ``key``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[key] = self.timers.get(key, 0.0) + time.perf_counter() - started
+
+    def as_dict(self) -> Dict[str, float]:
+        result: Dict[str, float] = {
+            "boolean_queries": self.boolean_queries,
+            "linear_checks": self.linear_checks,
+            "nonlinear_calls": self.nonlinear_calls,
+            "interval_refutations": self.interval_refutations,
+            "conflicts_refined": self.conflicts_refined,
+            "blocking_clauses": self.blocking_clauses,
+            "equality_splits": self.equality_splits,
+            "models_enumerated": self.models_enumerated,
+        }
+        for key, value in self.timers.items():
+            result[f"time_{key}"] = value
+        return result
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolveStatistics({fields})"

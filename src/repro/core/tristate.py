@@ -1,0 +1,137 @@
+"""Three-valued (Kleene) logic used throughout the ABsolver core.
+
+The paper (Sec. 2) extends the Boolean domain to ``B = B ∪ {?}``: a circuit
+pin may be true (``TT``), false (``FF``), or *unknown* (``UNKNOWN``, written
+``?`` in the paper) while ABsolver has not yet determined a solution to one of
+its sub-problems.  An unknown output pin is the signal that routes a candidate
+assignment on to the next solver in the chain (linear -> nonlinear).
+
+The truth tables implemented here are Kleene's strong three-valued logic: a
+connective yields a definite value whenever the known inputs already determine
+it (e.g. ``FF & ? == FF``), and ``?`` otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Union
+
+
+class Tri(enum.Enum):
+    """A three-valued truth value: true, false, or unknown."""
+
+    FF = 0
+    TT = 1
+    UNKNOWN = 2
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_bool(value: Optional[bool]) -> "Tri":
+        """Lift an optional Boolean into the three-valued domain.
+
+        ``None`` maps to ``UNKNOWN``; this is the canonical embedding used
+        when a sub-solver has not produced an answer yet.
+        """
+        if value is None:
+            return Tri.UNKNOWN
+        return Tri.TT if value else Tri.FF
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_known(self) -> bool:
+        """True when the value is definite (``TT`` or ``FF``)."""
+        return self is not Tri.UNKNOWN
+
+    def to_bool(self) -> bool:
+        """Collapse to a Python bool; raises on ``UNKNOWN``.
+
+        Use this only after a solver run has completed, when every pin is
+        guaranteed to carry a definite value.
+        """
+        if self is Tri.UNKNOWN:
+            raise ValueError("cannot convert UNKNOWN to bool")
+        return self is Tri.TT
+
+    # ------------------------------------------------------------------
+    # Kleene connectives
+    # ------------------------------------------------------------------
+    def __invert__(self) -> "Tri":
+        if self is Tri.UNKNOWN:
+            return Tri.UNKNOWN
+        return Tri.FF if self is Tri.TT else Tri.TT
+
+    def __and__(self, other: "Tri") -> "Tri":
+        if self is Tri.FF or other is Tri.FF:
+            return Tri.FF
+        if self is Tri.TT and other is Tri.TT:
+            return Tri.TT
+        return Tri.UNKNOWN
+
+    def __or__(self, other: "Tri") -> "Tri":
+        if self is Tri.TT or other is Tri.TT:
+            return Tri.TT
+        if self is Tri.FF and other is Tri.FF:
+            return Tri.FF
+        return Tri.UNKNOWN
+
+    def __xor__(self, other: "Tri") -> "Tri":
+        if self is Tri.UNKNOWN or other is Tri.UNKNOWN:
+            return Tri.UNKNOWN
+        return Tri.from_bool(self is not other)
+
+    def implies(self, other: "Tri") -> "Tri":
+        """Kleene implication ``self -> other`` (== ``~self | other``)."""
+        return (~self) | other
+
+    def iff(self, other: "Tri") -> "Tri":
+        """Kleene bi-implication; unknown when either side is unknown."""
+        return ~(self ^ other)
+
+    def __str__(self) -> str:
+        if self is Tri.TT:
+            return "tt"
+        if self is Tri.FF:
+            return "ff"
+        return "?"
+
+    def __repr__(self) -> str:
+        return f"Tri.{self.name}"
+
+
+#: Module-level aliases mirroring the paper's notation.
+TT = Tri.TT
+FF = Tri.FF
+UNKNOWN = Tri.UNKNOWN
+
+TriLike = Union[Tri, bool, None]
+
+
+def tri(value: TriLike) -> Tri:
+    """Coerce a ``Tri``, ``bool`` or ``None`` into a :class:`Tri`."""
+    if isinstance(value, Tri):
+        return value
+    return Tri.from_bool(value)
+
+
+def tri_all(values: Iterable[TriLike]) -> Tri:
+    """Kleene conjunction over an iterable (``TT`` for an empty iterable)."""
+    result = TT
+    for value in values:
+        result = result & tri(value)
+        if result is FF:
+            return FF
+    return result
+
+
+def tri_any(values: Iterable[TriLike]) -> Tri:
+    """Kleene disjunction over an iterable (``FF`` for an empty iterable)."""
+    result = FF
+    for value in values:
+        result = result | tri(value)
+        if result is TT:
+            return TT
+    return result

@@ -1,0 +1,21 @@
+"""Input layer: extended DIMACS (the tool's native format) and SMT-LIB 1.2."""
+
+from .dimacs import DimacsError, parse_dimacs, parse_dimacs_file, write_dimacs, format_dimacs
+from .smtlib import SmtLibError, SmtLibBenchmark, parse_smtlib
+from .mdl import MdlError, parse_model, parse_model_file, format_model, write_model
+
+__all__ = [
+    "MdlError",
+    "parse_model",
+    "parse_model_file",
+    "format_model",
+    "write_model",
+    "DimacsError",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+    "format_dimacs",
+    "SmtLibError",
+    "SmtLibBenchmark",
+    "parse_smtlib",
+]

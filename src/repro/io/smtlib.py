@@ -1,0 +1,346 @@
+"""SMT-LIB v1.2 benchmark reader (the format of the paper's Sec. 5.2).
+
+The FISCHER benchmarks were "converted automatically to ABSOLVER's input
+format from the satisfiability-modulo-theories benchmark library" [8].  This
+module is that converter: it parses the old s-expression benchmark format ::
+
+    (benchmark NAME
+      :logic QF_RDL
+      :status sat
+      :extrafuns ((x Real) (y Real))
+      :extrapreds ((p))
+      :assumption <formula>
+      :formula <formula>)
+
+into a Boolean formula tree whose leaves are arithmetic atoms, Tseitin-
+encodes the tree, and tags every distinct atom with a fresh defined Boolean
+variable — producing exactly the :class:`~repro.core.problem.ABProblem`
+that the extended DIMACS front end would load.
+
+Supported term language (sufficient for the timed-automaton BMC instances
+we generate): ``and or not implies iff xor``, chained relations
+``< <= > >= =``, n-ary ``+ - *``, binary ``/``, numerals, rationals, and
+declared function/predicate symbols of arity 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.expr import Add, Const, Constraint, Div, Expr, Mul, Neg, Relation, Sub, Var
+from ..core.problem import ABProblem
+from ..sat.tseitin import (
+    BAnd,
+    BConst,
+    BIff,
+    BImplies,
+    BNot,
+    BOr,
+    BoolExpr,
+    BVar,
+    BXor,
+    tseitin_encode,
+)
+
+__all__ = ["SmtLibError", "SmtLibBenchmark", "parse_smtlib", "formula_to_problem"]
+
+#: An s-expression is a token or a list of s-expressions.  (Recursive type
+#: spelled loosely; Python's typing cannot express it without a named alias.)
+_SExpr = Union[str, list]
+
+
+class SmtLibError(Exception):
+    """Malformed SMT-LIB 1.2 input (or a construct outside our subset)."""
+
+
+class SmtLibBenchmark:
+    """Parsed benchmark: metadata plus the converted AB-problem."""
+
+    def __init__(
+        self,
+        name: str,
+        logic: str,
+        status: str,
+        problem: ABProblem,
+    ):
+        self.name = name
+        self.logic = logic
+        self.status = status
+        self.problem = problem
+
+    def __repr__(self) -> str:
+        return f"SmtLibBenchmark({self.name!r}, logic={self.logic}, status={self.status})"
+
+
+# ----------------------------------------------------------------------
+# S-expression reader
+# ----------------------------------------------------------------------
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == ";":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "{":  # user value, e.g. :source { ... }; kept as one token
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                j += 1
+            if depth:
+                raise SmtLibError("unbalanced '{' in user value")
+            tokens.append(text[i:j])
+            i = j
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "();":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _read_sexpr(tokens: List[str], position: int) -> Tuple[_SExpr, int]:
+    if position >= len(tokens):
+        raise SmtLibError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[_SExpr] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read_sexpr(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise SmtLibError("unbalanced parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise SmtLibError("unexpected ')'")
+    return token, position + 1
+
+
+# ----------------------------------------------------------------------
+# Term conversion
+# ----------------------------------------------------------------------
+_BOOL_OPS = {"and", "or", "not", "implies", "=>", "iff", "xor", "if_then_else"}
+_REL_OPS = {"<", "<=", ">", ">=", "="}
+_ARITH_OPS = {"+", "-", "*", "/", "~"}
+
+
+def _is_numeral(token: str) -> bool:
+    body = token[1:] if token and token[0] in "+-" else token
+    if not body:
+        return False
+    return body.replace(".", "", 1).replace("/", "", 1).isdigit()
+
+
+class _Converter:
+    """Builds a BoolExpr tree over arithmetic atoms from parsed terms."""
+
+    def __init__(self, arith_vars: Dict[str, str], predicates: set):
+        self.arith_vars = arith_vars  # name -> 'int' | 'real'
+        self.predicates = predicates
+        self.atoms: Dict[Constraint, str] = {}
+        self.atom_domains: Dict[str, str] = {}
+
+    # -- arithmetic -----------------------------------------------------
+    def term(self, sexpr: _SExpr) -> Expr:
+        if isinstance(sexpr, str):
+            if _is_numeral(sexpr):
+                return Const(self._number(sexpr))
+            if sexpr in self.arith_vars:
+                return Var(sexpr)
+            raise SmtLibError(f"unknown arithmetic symbol {sexpr!r}")
+        if not sexpr:
+            raise SmtLibError("empty arithmetic term")
+        head = sexpr[0]
+        if not isinstance(head, str):
+            raise SmtLibError(f"bad term head {head!r}")
+        args = [self.term(arg) for arg in sexpr[1:]]
+        if head == "+":
+            return self._fold(Add, args)
+        if head == "*":
+            return self._fold(Mul, args)
+        if head == "-" or head == "~":
+            if len(args) == 1:
+                return Neg(args[0])
+            return self._fold(Sub, args)
+        if head == "/":
+            if len(args) != 2:
+                raise SmtLibError("/ takes exactly two arguments")
+            return Div(args[0], args[1])
+        raise SmtLibError(f"unsupported arithmetic operator {head!r}")
+
+    @staticmethod
+    def _fold(node_type, args: Sequence[Expr]) -> Expr:
+        if not args:
+            raise SmtLibError("operator needs arguments")
+        result = args[0]
+        for arg in args[1:]:
+            result = node_type(result, arg)
+        return result
+
+    @staticmethod
+    def _number(token: str) -> Union[int, float]:
+        if "/" in token:
+            fraction = Fraction(token)
+            return float(fraction) if fraction.denominator != 1 else fraction.numerator
+        if "." in token:
+            return float(token)
+        return int(token)
+
+    # -- formulas ---------------------------------------------------------
+    def formula(self, sexpr: _SExpr) -> BoolExpr:
+        if isinstance(sexpr, str):
+            if sexpr == "true":
+                return BConst(True)
+            if sexpr == "false":
+                return BConst(False)
+            if sexpr in self.predicates:
+                return BVar(sexpr)
+            raise SmtLibError(f"unknown propositional symbol {sexpr!r}")
+        if not sexpr:
+            raise SmtLibError("empty formula")
+        head = sexpr[0]
+        if not isinstance(head, str):
+            raise SmtLibError(f"bad formula head {head!r}")
+        if head == "not":
+            return BNot(self.formula(sexpr[1]))
+        if head == "and":
+            parts = [self.formula(arg) for arg in sexpr[1:]]
+            return parts[0] if len(parts) == 1 else BAnd(*parts)
+        if head == "or":
+            parts = [self.formula(arg) for arg in sexpr[1:]]
+            return parts[0] if len(parts) == 1 else BOr(*parts)
+        if head in ("implies", "=>"):
+            return BImplies(self.formula(sexpr[1]), self.formula(sexpr[2]))
+        if head == "xor":
+            return BXor(self.formula(sexpr[1]), self.formula(sexpr[2]))
+        if head == "iff":
+            return BIff(self.formula(sexpr[1]), self.formula(sexpr[2]))
+        if head == "if_then_else":
+            condition = self.formula(sexpr[1])
+            return BAnd(
+                BImplies(condition, self.formula(sexpr[2])),
+                BImplies(BNot(condition), self.formula(sexpr[3])),
+            )
+        if head in _REL_OPS:
+            return self._relation(head, sexpr[1:])
+        raise SmtLibError(f"unsupported connective {head!r}")
+
+    def _relation(self, op: str, operands: Sequence[_SExpr]) -> BoolExpr:
+        # "= p q" over predicates is iff; over terms it is an equation.
+        if op == "=" and all(
+            isinstance(o, str) and o in self.predicates for o in operands
+        ):
+            parts = [BVar(str(o)) for o in operands]
+            result: BoolExpr = BIff(parts[0], parts[1])
+            for extra in parts[2:]:
+                result = BAnd(result, BIff(parts[0], extra))
+            return result
+        terms = [self.term(o) for o in operands]
+        if len(terms) < 2:
+            raise SmtLibError(f"relation {op!r} needs two operands")
+        relation = Relation.from_symbol(op)
+        atoms = [
+            self._atom(Constraint(terms[i], relation, terms[i + 1]))
+            for i in range(len(terms) - 1)
+        ]
+        return atoms[0] if len(atoms) == 1 else BAnd(*atoms)
+
+    def _atom(self, constraint: Constraint) -> BoolExpr:
+        if constraint not in self.atoms:
+            name = f"__atom{len(self.atoms)}__"
+            self.atoms[constraint] = name
+            domains = {self.arith_vars[v] for v in constraint.variables()}
+            self.atom_domains[name] = "int" if domains == {"int"} else "real"
+        return BVar(self.atoms[constraint])
+
+
+# ----------------------------------------------------------------------
+# Benchmark-level parsing
+# ----------------------------------------------------------------------
+def parse_smtlib(text: str) -> SmtLibBenchmark:
+    """Parse one SMT-LIB 1.2 benchmark into an ABProblem."""
+    tokens = _tokenize(text)
+    sexpr, position = _read_sexpr(tokens, 0)
+    if position != len(tokens):
+        raise SmtLibError("trailing input after benchmark")
+    if not isinstance(sexpr, list) or not sexpr or sexpr[0] != "benchmark":
+        raise SmtLibError("input is not a (benchmark ...) form")
+    name = str(sexpr[1]) if len(sexpr) > 1 and isinstance(sexpr[1], str) else ""
+
+    logic = ""
+    status = "unknown"
+    arith_vars: Dict[str, str] = {}
+    predicates: set = set()
+    assumptions: List[_SExpr] = []
+    formula: Optional[_SExpr] = None
+
+    index = 2
+    while index < len(sexpr):
+        key = sexpr[index]
+        if not isinstance(key, str) or not key.startswith(":"):
+            raise SmtLibError(f"expected attribute, got {key!r}")
+        if index + 1 >= len(sexpr):
+            raise SmtLibError(f"attribute {key} has no value")
+        value = sexpr[index + 1]
+        index += 2
+        if key == ":logic":
+            logic = str(value)
+        elif key == ":status":
+            status = str(value)
+        elif key == ":extrafuns":
+            if not isinstance(value, list):
+                raise SmtLibError(":extrafuns expects a list")
+            for entry in value:
+                if not isinstance(entry, list) or len(entry) < 2:
+                    raise SmtLibError(f"bad :extrafuns entry {entry!r}")
+                fn_name, sort = str(entry[0]), str(entry[-1])
+                if len(entry) > 2:
+                    raise SmtLibError("only arity-0 functions are supported")
+                arith_vars[fn_name] = "int" if sort == "Int" else "real"
+        elif key == ":extrapreds":
+            if not isinstance(value, list):
+                raise SmtLibError(":extrapreds expects a list")
+            for entry in value:
+                if not isinstance(entry, list) or len(entry) != 1:
+                    raise SmtLibError(f"bad :extrapreds entry {entry!r} (arity 0 only)")
+                predicates.add(str(entry[0]))
+        elif key == ":assumption":
+            assumptions.append(value)
+        elif key == ":formula":
+            formula = value
+        # Other attributes (:source, :notes, ...) are ignored.
+
+    if formula is None:
+        raise SmtLibError("benchmark has no :formula")
+
+    converter = _Converter(arith_vars, predicates)
+    parts = [converter.formula(a) for a in assumptions]
+    parts.append(converter.formula(formula))
+    tree = parts[0] if len(parts) == 1 else BAnd(*parts)
+    problem = formula_to_problem(tree, converter, name=name)
+    return SmtLibBenchmark(name=name, logic=logic, status=status, problem=problem)
+
+
+def formula_to_problem(tree: BoolExpr, converter: _Converter, name: str = "") -> ABProblem:
+    """Tseitin-encode a converted formula and attach atom definitions."""
+    result = tseitin_encode(tree)
+    problem = ABProblem(result.cnf, name=name)
+    for constraint, atom_name in converter.atoms.items():
+        bool_var = result.atom_map.get(atom_name)
+        if bool_var is None:
+            continue  # atom vanished through simplification
+        problem.define(bool_var, converter.atom_domains[atom_name], constraint)
+    return problem

@@ -1,0 +1,293 @@
+"""LP presolve: bound tightening, variable fixing, redundancy removal.
+
+Production LP codes (COIN included) run a presolver before the simplex; it
+pays off most on machine-generated systems like ABsolver's theory checks,
+which are full of single-variable bound rows and fixed variables.
+
+Implemented reductions, applied to fixpoint:
+
+* **singleton rows** ``a*x REL b`` become variable bounds;
+* **fixed variables** (lower bound == upper bound, or an equality pinning a
+  single variable) are substituted into the remaining rows;
+* **redundant rows** whose interval image over the current bounds already
+  satisfies the relation are dropped;
+* **trivially infeasible rows** (variable-free, or bound-contradicting)
+  report infeasibility immediately.
+
+The result is exact: :class:`PresolveResult` carries the assignments of
+eliminated variables and the reduced system, and feasibility of the reduced
+system is equivalent to feasibility of the original (a point for the
+original is the reduced point plus the recorded fixings plus any value
+inside the recorded bounds for variables that vanished entirely).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.expr import Relation
+from .lp import LinearConstraint, LinearSystem
+
+__all__ = ["PresolveResult", "presolve"]
+
+_INF = None  # bounds use None for "unbounded"
+
+
+class _Bounds:
+    """Mutable (lower, strict_lower, upper, strict_upper) per variable."""
+
+    __slots__ = ("lower", "lower_strict", "upper", "upper_strict")
+
+    def __init__(self):
+        self.lower: Optional[Fraction] = None
+        self.lower_strict = False
+        self.upper: Optional[Fraction] = None
+        self.upper_strict = False
+
+    def tighten_lower(self, value: Fraction, strict: bool) -> None:
+        if self.lower is None or value > self.lower or (
+            value == self.lower and strict and not self.lower_strict
+        ):
+            self.lower = value
+            self.lower_strict = strict
+
+    def tighten_upper(self, value: Fraction, strict: bool) -> None:
+        if self.upper is None or value < self.upper or (
+            value == self.upper and strict and not self.upper_strict
+        ):
+            self.upper = value
+            self.upper_strict = strict
+
+    @property
+    def infeasible(self) -> bool:
+        if self.lower is None or self.upper is None:
+            return False
+        if self.lower > self.upper:
+            return True
+        if self.lower == self.upper and (self.lower_strict or self.upper_strict):
+            return True
+        return False
+
+    @property
+    def fixed_value(self) -> Optional[Fraction]:
+        if (
+            self.lower is not None
+            and self.lower == self.upper
+            and not self.lower_strict
+            and not self.upper_strict
+        ):
+            return self.lower
+        return None
+
+    def pick_value(self) -> Fraction:
+        """Any value consistent with the bounds (for vanished variables)."""
+        if self.lower is not None and self.upper is not None:
+            if self.lower == self.upper:
+                return self.lower
+            return (self.lower + self.upper) / 2
+        if self.lower is not None:
+            return self.lower + 1
+        if self.upper is not None:
+            return self.upper - 1
+        return Fraction(0)
+
+
+class PresolveResult:
+    """Outcome of presolving.
+
+    Attributes:
+        system: the reduced system (None when infeasibility was proven).
+        fixed: variable -> value substitutions performed.
+        infeasible: True when the presolver proved infeasibility.
+        rows_removed: count of dropped rows (redundant + converted).
+    """
+
+    def __init__(
+        self,
+        system: Optional[LinearSystem],
+        fixed: Dict[str, Fraction],
+        bounds: Dict[str, "_Bounds"],
+        infeasible: bool,
+        rows_removed: int,
+        domains: Optional[Dict[str, str]] = None,
+    ):
+        self.system = system
+        self.fixed = fixed
+        self._bounds = bounds
+        self.infeasible = infeasible
+        self.rows_removed = rows_removed
+        self._domains = dict(domains or {})
+
+    def complete_point(self, point: Dict[str, Fraction]) -> Dict[str, Fraction]:
+        """Extend a reduced-system point to the original variables."""
+        if self.infeasible:
+            raise ValueError("cannot complete a point for an infeasible system")
+        full = dict(point)
+        full.update(self.fixed)
+        for var, bounds in self._bounds.items():
+            if var in full:
+                continue
+            value = bounds.pick_value()
+            if self._domains.get(var) == "int" and value.denominator != 1:
+                # snap to an in-range integer (bounds admit one whenever the
+                # reduced system was integer-feasible for this lone variable)
+                import math
+
+                candidate = Fraction(math.ceil(value))
+                if bounds.upper is not None and candidate > bounds.upper:
+                    candidate = Fraction(math.floor(value))
+                value = candidate
+            full[var] = value
+        return full
+
+
+def _row_bounds_image(
+    row: LinearConstraint, bounds: Dict[str, _Bounds]
+) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+    """Interval image of the row's lhs over current bounds (None = inf)."""
+    low: Optional[Fraction] = Fraction(0)
+    high: Optional[Fraction] = Fraction(0)
+    for var, coeff in row.coeffs.items():
+        entry = bounds.get(var)
+        var_low = entry.lower if entry else None
+        var_high = entry.upper if entry else None
+        if coeff > 0:
+            contribution_low, contribution_high = var_low, var_high
+        else:
+            contribution_low, contribution_high = var_high, var_low
+        if low is not None:
+            low = None if contribution_low is None else low + coeff * contribution_low
+        if high is not None:
+            high = None if contribution_high is None else high + coeff * contribution_high
+    return low, high
+
+
+def _row_redundant(
+    row: LinearConstraint, bounds: Dict[str, _Bounds]
+) -> bool:
+    low, high = _row_bounds_image(row, bounds)
+    relation, bound = row.relation, row.bound
+    if relation is Relation.LE:
+        return high is not None and high <= bound
+    if relation is Relation.LT:
+        return high is not None and high < bound
+    if relation is Relation.GE:
+        return low is not None and low >= bound
+    if relation is Relation.GT:
+        return low is not None and low > bound
+    return False  # equalities are never dropped as redundant here
+
+
+def _row_impossible(row: LinearConstraint, bounds: Dict[str, _Bounds]) -> bool:
+    low, high = _row_bounds_image(row, bounds)
+    relation, bound = row.relation, row.bound
+    if relation in (Relation.LE, Relation.LT):
+        if low is not None and (low > bound or (low == bound and relation is Relation.LT)):
+            return True
+    if relation in (Relation.GE, Relation.GT):
+        if high is not None and (high < bound or (high == bound and relation is Relation.GT)):
+            return True
+    if relation is Relation.EQ:
+        if low is not None and low > bound:
+            return True
+        if high is not None and high < bound:
+            return True
+    return False
+
+
+def presolve(system: LinearSystem, max_rounds: int = 20) -> PresolveResult:
+    """Run the presolver; the input system is not modified."""
+    rows: List[LinearConstraint] = list(system.rows)
+    bounds: Dict[str, _Bounds] = {var: _Bounds() for var in system.variables()}
+    fixed: Dict[str, Fraction] = {}
+    removed = 0
+
+    def fail() -> PresolveResult:
+        return PresolveResult(None, fixed, bounds, True, removed, system.domains)
+
+    for _ in range(max_rounds):
+        changed = False
+        next_rows: List[LinearConstraint] = []
+        for row in rows:
+            # substitute fixed variables
+            if any(var in fixed for var in row.coeffs):
+                constant = sum(
+                    (coeff * fixed[var] for var, coeff in row.coeffs.items() if var in fixed),
+                    Fraction(0),
+                )
+                row = LinearConstraint(
+                    {v: c for v, c in row.coeffs.items() if v not in fixed},
+                    row.relation,
+                    row.bound - constant,
+                    tag=row.tag,
+                )
+                changed = True
+            if row.is_trivial():
+                if not row.trivially_true():
+                    return fail()
+                removed += 1
+                continue
+            if len(row.coeffs) == 1:
+                # singleton row -> bound update
+                ((var, coeff),) = row.coeffs.items()
+                value = row.bound / coeff
+                relation = row.relation if coeff > 0 else row.relation.flipped()
+                entry = bounds.setdefault(var, _Bounds())
+                if relation in (Relation.LE, Relation.LT):
+                    entry.tighten_upper(value, relation is Relation.LT)
+                elif relation in (Relation.GE, Relation.GT):
+                    entry.tighten_lower(value, relation is Relation.GT)
+                else:
+                    entry.tighten_lower(value, False)
+                    entry.tighten_upper(value, False)
+                if entry.infeasible:
+                    return fail()
+                removed += 1
+                changed = True
+                continue
+            next_rows.append(row)
+        rows = next_rows
+
+        # fix variables whose bounds pin them
+        for var, entry in bounds.items():
+            if var in fixed:
+                continue
+            value = entry.fixed_value
+            if value is not None:
+                fixed[var] = value
+                changed = True
+
+        # drop rows made redundant by the current bounds; detect impossible
+        surviving: List[LinearConstraint] = []
+        for row in rows:
+            if any(var in fixed for var in row.coeffs):
+                surviving.append(row)  # substituted next round
+                continue
+            if _row_impossible(row, bounds):
+                return fail()
+            if _row_redundant(row, bounds):
+                removed += 1
+                changed = True
+                continue
+            surviving.append(row)
+        rows = surviving
+        if not changed:
+            break
+
+    reduced = LinearSystem(rows, dict(system.domains))
+    # re-emit surviving bounds as rows so the reduced system is self-contained
+    for var, entry in bounds.items():
+        if var in fixed:
+            continue
+        if entry.lower is not None:
+            relation = Relation.GT if entry.lower_strict else Relation.GE
+            reduced.add(LinearConstraint({var: Fraction(1)}, relation, entry.lower))
+        if entry.upper is not None:
+            relation = Relation.LT if entry.upper_strict else Relation.LE
+            reduced.add(LinearConstraint({var: Fraction(1)}, relation, entry.upper))
+    # integrality of fixed variables must be honoured
+    for var, value in fixed.items():
+        if system.domains.get(var) == "int" and value.denominator != 1:
+            return PresolveResult(None, fixed, bounds, True, removed, system.domains)
+    return PresolveResult(reduced, fixed, bounds, False, removed, system.domains)

@@ -1,0 +1,34 @@
+"""Nonlinear arithmetic substrate — the stand-in for IPOPT [11].
+
+Provides the from-scratch augmented-Lagrangian feasibility solver, a damped
+Newton solver for square equality systems, interval arithmetic used for
+model certification, and an optional scipy-backed alternative backend that
+demonstrates ABsolver's pluggable-solver design.
+"""
+
+from .auglag import AugmentedLagrangianSolver, NLPResult, NLPStatus, Bounds, STRICT_MARGIN
+from .newton import NewtonSolver, NewtonResult
+from .intervals import Interval, eval_interval, check_constraint_interval
+from .contract import hc4_revise, contract_box
+from .refute import IntervalRefuter, RefuteResult, RefuteStatus
+from .scipy_backend import ScipySLSQPSolver, scipy_available
+
+__all__ = [
+    "AugmentedLagrangianSolver",
+    "NLPResult",
+    "NLPStatus",
+    "Bounds",
+    "STRICT_MARGIN",
+    "NewtonSolver",
+    "NewtonResult",
+    "Interval",
+    "eval_interval",
+    "check_constraint_interval",
+    "hc4_revise",
+    "contract_box",
+    "IntervalRefuter",
+    "RefuteResult",
+    "RefuteStatus",
+    "ScipySLSQPSolver",
+    "scipy_available",
+]

@@ -1,0 +1,166 @@
+"""All-solutions SAT enumeration — the reproduction's stand-in for LSAT [2].
+
+The paper highlights two routes to "all models":
+
+1. a solver that natively determines *all* satisfying assignments (LSAT),
+   which ABsolver prefers for applications such as consistency-based
+   diagnosis, and
+2. iteratively restarting an ordinary SAT solver with blocking clauses,
+   which works with any solver "at the expense of the time required for
+   restarting the entire solving process externally" (Sec. 4).
+
+:class:`AllSATSolver` implements route 1 as an in-process enumerator with
+blocking clauses over a *projection* variable set and greedy model
+minimization (so one reported partial model can cover many total models).
+:func:`iterate_models` implements route 2 and is what the all-SAT ablation
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .cnf import CNF, Assignment
+from .cdcl import CDCLSolver
+
+__all__ = ["AllSATSolver", "iterate_models", "count_models"]
+
+
+class AllSATSolver:
+    """Enumerate satisfying assignments of a CNF formula.
+
+    Models are enumerated over ``projection`` variables (all variables by
+    default).  When ``minimize`` is on, each model is first shrunk to a
+    partial assignment that still satisfies the formula; the blocking clause
+    then excludes the whole cube at once, which can shrink the enumeration
+    exponentially — this mirrors LSAT's prime-implicant-style output.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        projection: Optional[Iterable[int]] = None,
+        minimize: bool = True,
+        max_models: Optional[int] = None,
+    ):
+        self._cnf = cnf.copy()
+        self._projection = sorted(projection) if projection is not None else list(
+            range(1, cnf.num_vars + 1)
+        )
+        for var in self._projection:
+            if var < 1:
+                raise ValueError(f"projection variable {var} out of range")
+        self._projection_set = set(self._projection)
+        self._minimize = minimize
+        self._max_models = max_models
+        self._blocking: List[List[int]] = []
+        self.models_found = 0
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return self.enumerate()
+
+    def enumerate(self) -> Iterator[Assignment]:
+        """Yield models as dicts over the projection variables.
+
+        With ``minimize`` on, yielded assignments may be partial: variables
+        absent from the dict are don't-cares (any value extends to a model).
+        """
+        solver = CDCLSolver(self._cnf)
+        while True:
+            if self._max_models is not None and self.models_found >= self._max_models:
+                return
+            model = solver.solve()
+            if model is None:
+                return
+            projected = {var: model[var] for var in self._projection if var in model}
+            if self._minimize:
+                projected = self._shrink(projected, model)
+            self.models_found += 1
+            yield dict(projected)
+            blocking = [(-var if value else var) for var, value in projected.items()]
+            if not blocking:
+                return  # a model with no projected vars blocks everything
+            self._blocking.append(blocking)
+            solver.add_clause(blocking)
+
+    # ------------------------------------------------------------------
+    def _shrink(self, model: Assignment, total_model: Assignment) -> Assignment:
+        """Greedily drop variables whose value is irrelevant to satisfaction.
+
+        A variable can be dropped when every clause — including the blocking
+        clauses of previously reported cubes, which keeps cubes disjoint — is
+        satisfied by some *other* kept literal.  Non-projected variables keep
+        their total-model values for the support computation.  This is a
+        sound (not necessarily minimum) reduction.
+        """
+        kept = dict(model)
+
+        def support_of(clause: Sequence[int]) -> Set[int]:
+            return {
+                literal
+                for literal in clause
+                if (abs(literal) in kept and kept[abs(literal)] == (literal > 0))
+                or (
+                    abs(literal) not in kept
+                    and abs(literal) not in self._projection_set
+                    and total_model.get(abs(literal)) == (literal > 0)
+                )
+            }
+
+        clause_support = [support_of(clause) for clause in self._cnf.clauses]
+        clause_support.extend(support_of(clause) for clause in self._blocking)
+
+        for var in sorted(kept, key=lambda v: -v):
+            literal = var if kept[var] else -var
+            removable = True
+            for support in clause_support:
+                if support == {literal}:
+                    removable = False
+                    break
+            if removable:
+                del kept[var]
+                for support in clause_support:
+                    support.discard(literal)
+        return kept
+
+
+def iterate_models(
+    cnf: CNF,
+    projection: Optional[Iterable[int]] = None,
+    max_models: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """Route 2: restart a fresh CDCL solver per model with blocking clauses.
+
+    Deliberately pays the full restart cost each round (the paper's caveat);
+    used as the ablation baseline for :class:`AllSATSolver`.
+    """
+    working = cnf.copy()
+    variables = sorted(projection) if projection is not None else list(
+        range(1, cnf.num_vars + 1)
+    )
+    found = 0
+    while True:
+        if max_models is not None and found >= max_models:
+            return
+        model = CDCLSolver(working).solve()  # fresh solver: external restart
+        if model is None:
+            return
+        projected = {var: model[var] for var in variables}
+        found += 1
+        yield projected
+        blocking = [(-var if value else var) for var, value in projected.items()]
+        if not blocking:
+            return
+        working.add_clause(blocking)
+
+
+def count_models(cnf: CNF, projection: Optional[Iterable[int]] = None) -> int:
+    """Count models over the projection set (expands minimized cubes)."""
+    variables = sorted(projection) if projection is not None else list(
+        range(1, cnf.num_vars + 1)
+    )
+    total = 0
+    for model in AllSATSolver(cnf, projection=variables, minimize=True).enumerate():
+        free = len(variables) - len(model)
+        total += 1 << free
+    return total

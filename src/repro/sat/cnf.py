@@ -1,0 +1,133 @@
+"""CNF formula representation shared by all Boolean solvers.
+
+Literals follow the DIMACS convention: a positive integer ``v`` denotes the
+variable ``v``, and ``-v`` its negation.  Variable indices start at 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Clause", "CNF", "Assignment", "lit_var", "lit_sign"]
+
+#: A clause is a tuple of non-zero DIMACS literals.
+Clause = Tuple[int, ...]
+
+#: A (possibly partial) assignment maps variable index -> bool.
+Assignment = Dict[int, bool]
+
+
+def lit_var(literal: int) -> int:
+    """Variable index of a literal."""
+    return abs(literal)
+
+
+def lit_sign(literal: int) -> bool:
+    """Polarity of a literal: True for positive."""
+    return literal > 0
+
+
+class CNF:
+    """A CNF formula: a conjunction of clauses over variables ``1..num_vars``.
+
+    The class is a thin mutable container; solvers copy what they need.  It
+    validates literals on insertion, deduplicates literals within a clause,
+    and detects tautological clauses (which are dropped, as any solver would).
+    """
+
+    def __init__(self, num_vars: int = 0, clauses: Optional[Iterable[Sequence[int]]] = None):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = []
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause; grows ``num_vars`` as needed, drops tautologies."""
+        seen: Set[int] = set()
+        clause: List[int] = []
+        for literal in literals:
+            if not isinstance(literal, int) or literal == 0:
+                raise ValueError(f"invalid literal {literal!r}")
+            if -literal in seen:
+                return  # tautology: v OR -v
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+            self.num_vars = max(self.num_vars, abs(literal))
+        self.clauses.append(tuple(clause))
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> Set[int]:
+        """Variables that actually occur in some clause."""
+        return {abs(literal) for clause in self.clauses for literal in clause}
+
+    def copy(self) -> "CNF":
+        duplicate = CNF(self.num_vars)
+        duplicate.clauses = list(self.clauses)
+        return duplicate
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CNF)
+            and other.num_vars == self.num_vars
+            and other.clauses == self.clauses
+        )
+
+    def __repr__(self) -> str:
+        return f"CNF(num_vars={self.num_vars}, num_clauses={self.num_clauses})"
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Assignment) -> Optional[bool]:
+        """Evaluate under a (possibly partial) assignment.
+
+        Returns True/False when determined, None when some clause is still
+        undecided.
+        """
+        undecided = False
+        for clause in self.clauses:
+            satisfied = False
+            open_literal = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    open_literal = True
+                elif value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if open_literal:
+                undecided = True
+            else:
+                return False
+        return None if undecided else True
+
+    def is_satisfied_by(self, assignment: Assignment) -> bool:
+        """Total-assignment satisfaction check (missing vars count as False)."""
+        for clause in self.clauses:
+            if not any(assignment.get(abs(literal), False) == (literal > 0) for literal in clause):
+                return False
+        return True

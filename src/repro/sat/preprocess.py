@@ -1,0 +1,268 @@
+"""CNF preprocessing: unit propagation, pure literals, subsumption, BVE.
+
+zChaff-era SAT pipelines run a SatELite-style preprocessor before search;
+ABsolver's front end benefits the same way, because the Tseitin output of
+the Simulink converter is full of functionally-defined variables that
+bounded variable elimination (BVE) removes wholesale.
+
+The preprocessor is *model-preserving*: :class:`PreprocessResult` carries a
+reconstruction stack, and :meth:`PreprocessResult.extend_model` turns any
+model of the simplified formula into a model of the original.  Variables
+with arithmetic definitions (the AB-problem's tagged variables) can be
+declared *frozen* so their semantics survive — the control loop needs
+their values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cnf import CNF, Assignment, Clause
+
+__all__ = ["PreprocessResult", "Preprocessor", "preprocess"]
+
+
+class PreprocessResult:
+    """Outcome of preprocessing.
+
+    Attributes:
+        cnf: the simplified formula (equisatisfiable with the original).
+        unsat: True when preprocessing already derived a contradiction.
+        forced: level-0 assignments discovered (variable -> bool).
+        eliminated: reconstruction stack for BVE-removed variables, in
+            elimination order; each entry is ``(var, clauses_with_var)``.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        unsat: bool,
+        forced: Dict[int, bool],
+        eliminated: List[Tuple[int, List[Clause]]],
+        original_num_vars: int,
+    ):
+        self.cnf = cnf
+        self.unsat = unsat
+        self.forced = forced
+        self.eliminated = eliminated
+        self.original_num_vars = original_num_vars
+
+    def extend_model(self, model: Assignment) -> Assignment:
+        """Lift a model of the simplified CNF to the original variables."""
+        if self.unsat:
+            raise ValueError("cannot extend a model of an UNSAT formula")
+        full = dict(model)
+        full.update(self.forced)
+        # Reverse elimination order: each eliminated variable is assigned a
+        # value satisfying all its original clauses given later decisions.
+        for var, clauses in reversed(self.eliminated):
+            value_needed: Optional[bool] = None
+            for clause in clauses:
+                satisfied = False
+                for literal in clause:
+                    if abs(literal) == var:
+                        continue
+                    if full.get(abs(literal), False) == (literal > 0):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    # the clause's occurrence of var must satisfy it
+                    occurrence = next(l for l in clause if abs(l) == var)
+                    needed = occurrence > 0
+                    if value_needed is not None and value_needed != needed:
+                        raise AssertionError(
+                            f"reconstruction conflict for variable {var}"
+                        )
+                    value_needed = needed
+            full[var] = value_needed if value_needed is not None else False
+        for var in range(1, self.original_num_vars + 1):
+            full.setdefault(var, False)
+        return full
+
+
+class Preprocessor:
+    """Configurable clause-level simplifier."""
+
+    def __init__(
+        self,
+        unit_propagation: bool = True,
+        pure_literals: bool = True,
+        subsumption: bool = True,
+        variable_elimination: bool = True,
+        elimination_growth_limit: int = 0,
+        frozen: Optional[Iterable[int]] = None,
+    ):
+        self.unit_propagation = unit_propagation
+        self.pure_literals = pure_literals
+        self.subsumption = subsumption
+        self.variable_elimination = variable_elimination
+        self.elimination_growth_limit = elimination_growth_limit
+        self.frozen: Set[int] = set(frozen or ())
+
+    # ------------------------------------------------------------------
+    def run(self, cnf: CNF) -> PreprocessResult:
+        clauses: List[FrozenSet[int]] = []
+        seen: Set[FrozenSet[int]] = set()
+        for clause in cnf.clauses:
+            key = frozenset(clause)
+            if key not in seen:
+                seen.add(key)
+                clauses.append(key)
+        forced: Dict[int, bool] = {}
+        eliminated: List[Tuple[int, List[Clause]]] = []
+
+        changed = True
+        while changed:
+            changed = False
+            if self.unit_propagation:
+                outcome = self._propagate_units(clauses, forced)
+                if outcome is None:
+                    return PreprocessResult(CNF(), True, forced, eliminated, cnf.num_vars)
+                clauses, moved = outcome
+                changed |= moved
+            if self.pure_literals:
+                clauses, moved = self._pure_literals(clauses, forced)
+                changed |= moved
+            if self.subsumption:
+                clauses, moved = self._subsume(clauses)
+                changed |= moved
+            if self.variable_elimination:
+                outcome = self._eliminate_variables(clauses, forced, eliminated)
+                if outcome is None:
+                    return PreprocessResult(CNF(), True, forced, eliminated, cnf.num_vars)
+                clauses, moved = outcome
+                changed |= moved
+
+        result = CNF(cnf.num_vars)
+        for clause in clauses:
+            result.add_clause(sorted(clause, key=abs))
+        return PreprocessResult(result, False, forced, eliminated, cnf.num_vars)
+
+    # ------------------------------------------------------------------
+    def _propagate_units(
+        self, clauses: List[FrozenSet[int]], forced: Dict[int, bool]
+    ) -> Optional[Tuple[List[FrozenSet[int]], bool]]:
+        changed = False
+        while True:
+            unit: Optional[int] = None
+            for clause in clauses:
+                if len(clause) == 1:
+                    unit = next(iter(clause))
+                    break
+            if unit is None:
+                return clauses, changed
+            changed = True
+            var, value = abs(unit), unit > 0
+            if forced.get(var, value) != value:
+                return None
+            forced[var] = value
+            next_clauses: List[FrozenSet[int]] = []
+            for clause in clauses:
+                if unit in clause:
+                    continue
+                if -unit in clause:
+                    reduced = clause - {-unit}
+                    if not reduced:
+                        return None
+                    next_clauses.append(reduced)
+                else:
+                    next_clauses.append(clause)
+            clauses = next_clauses
+
+    def _pure_literals(
+        self, clauses: List[FrozenSet[int]], forced: Dict[int, bool]
+    ) -> Tuple[List[FrozenSet[int]], bool]:
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(abs(literal), set()).add(literal > 0)
+        pure = {
+            (var if True in signs else -var)
+            for var, signs in polarity.items()
+            if len(signs) == 1 and var not in self.frozen
+        }
+        if not pure:
+            return clauses, False
+        for literal in pure:
+            forced[abs(literal)] = literal > 0
+        remaining = [c for c in clauses if not (c & pure)]
+        return remaining, True
+
+    def _subsume(self, clauses: List[FrozenSet[int]]) -> Tuple[List[FrozenSet[int]], bool]:
+        """Remove clauses subsumed by a (strictly smaller or equal) clause."""
+        by_size = sorted(clauses, key=len)
+        kept: List[FrozenSet[int]] = []
+        removed = 0
+        # occurrence index over kept (smaller) clauses; a subsumer C <= D
+        # shows up in the bucket of every literal of C, all of which are
+        # literals of D, so scanning D's buckets finds it.
+        occurrences: Dict[int, List[FrozenSet[int]]] = {}
+        for clause in by_size:
+            subsumed = False
+            checked: Set[int] = set()
+            for literal in clause:
+                for candidate in occurrences.get(literal, ()):
+                    if id(candidate) in checked:
+                        continue
+                    checked.add(id(candidate))
+                    if candidate <= clause:
+                        subsumed = True
+                        break
+                if subsumed:
+                    break
+            if subsumed:
+                removed += 1
+                continue
+            kept.append(clause)
+            for literal in clause:
+                occurrences.setdefault(literal, []).append(clause)
+        return kept, removed > 0
+
+    def _eliminate_variables(
+        self,
+        clauses: List[FrozenSet[int]],
+        forced: Dict[int, bool],
+        eliminated: List[Tuple[int, List[Clause]]],
+    ) -> Optional[Tuple[List[FrozenSet[int]], bool]]:
+        """Bounded variable elimination by clause distribution (resolution)."""
+        occurrences: Dict[int, List[FrozenSet[int]]] = {}
+        for clause in clauses:
+            for literal in clause:
+                occurrences.setdefault(literal, []).append(clause)
+        variables = sorted(
+            {abs(l) for c in clauses for l in c} - self.frozen - set(forced)
+        )
+        for var in variables:
+            positive = occurrences.get(var, [])
+            negative = occurrences.get(-var, [])
+            if not positive and not negative:
+                continue
+            resolvents: List[FrozenSet[int]] = []
+            tautology_free = True
+            for pos in positive:
+                for neg in negative:
+                    resolvent = (pos - {var}) | (neg - {-var})
+                    if any(-l in resolvent for l in resolvent):
+                        continue  # tautology: drop
+                    if not resolvent:
+                        return None  # empty resolvent: UNSAT
+                    resolvents.append(resolvent)
+            if len(resolvents) > len(positive) + len(negative) + self.elimination_growth_limit:
+                continue  # elimination would grow the formula
+            # Perform the elimination.
+            removed = set(map(id, positive)) | set(map(id, negative))
+            original = [tuple(sorted(c, key=abs)) for c in positive + negative]
+            eliminated.append((var, original))
+            next_clauses = [c for c in clauses if id(c) not in removed]
+            existing = set(next_clauses)
+            for resolvent in resolvents:
+                if resolvent not in existing:
+                    existing.add(resolvent)
+                    next_clauses.append(resolvent)
+            return next_clauses, True  # restart the fixpoint loop
+        return clauses, False
+
+
+def preprocess(cnf: CNF, frozen: Optional[Iterable[int]] = None) -> PreprocessResult:
+    """Run the default preprocessing pipeline."""
+    return Preprocessor(frozen=frozen).run(cnf)

@@ -1,0 +1,75 @@
+"""MATLAB/Simulink-like modeling substrate and the Fig. 3 conversion chain.
+
+Simulates the proprietary front end of the paper's tool-chain: block-diagram
+models, a LUSTRE-style textual hop (the SCADE leg), and conversion into
+AB-problems.
+"""
+
+from .blocks import (
+    Block,
+    BlockError,
+    BlockNotConvertibleError,
+    Inport,
+    BoolInport,
+    Outport,
+    Constant,
+    Sum,
+    Product,
+    Gain,
+    Abs,
+    Trig,
+    Sqrt,
+    RelationalOperator,
+    LogicalOperator,
+    Bias,
+    UnaryMinus,
+    MinMax,
+    DeadZone,
+    Saturation,
+    Switch,
+    SIGNAL_ARITH,
+    SIGNAL_BOOL,
+)
+from .model import SimulinkModel, Connection, ModelValidationError
+from .subsystem import Subsystem, flatten_model
+from .lustre import LustreProgram, LustreError, model_to_lustre, parse_lustre
+from .convert import ConversionError, model_to_problem, lustre_to_problem, convert_workflow
+
+__all__ = [
+    "Block",
+    "BlockError",
+    "BlockNotConvertibleError",
+    "Inport",
+    "BoolInport",
+    "Outport",
+    "Constant",
+    "Sum",
+    "Product",
+    "Gain",
+    "Abs",
+    "Trig",
+    "Sqrt",
+    "RelationalOperator",
+    "LogicalOperator",
+    "Bias",
+    "UnaryMinus",
+    "MinMax",
+    "DeadZone",
+    "Saturation",
+    "Switch",
+    "SIGNAL_ARITH",
+    "SIGNAL_BOOL",
+    "SimulinkModel",
+    "Connection",
+    "ModelValidationError",
+    "Subsystem",
+    "flatten_model",
+    "LustreProgram",
+    "LustreError",
+    "model_to_lustre",
+    "parse_lustre",
+    "ConversionError",
+    "model_to_problem",
+    "lustre_to_problem",
+    "convert_workflow",
+]

@@ -1,0 +1,158 @@
+"""Hierarchical subsystems: composite blocks wrapping an inner model.
+
+Real MATLAB/Simulink models are deeply hierarchical; verification tools
+flatten the hierarchy before analysis.  This module supplies both halves:
+
+* :class:`Subsystem` — a block whose behaviour is an entire inner
+  :class:`~repro.simulink.model.SimulinkModel`; it simulates directly
+  (inner simulation per evaluation) and carries typed ports derived from
+  the inner Inports/Outport;
+* :func:`flatten_model` — inline every subsystem (recursively) into a flat
+  model with ``parent/child`` block names, which the existing conversion
+  pipeline (Fig. 3) handles unchanged.
+
+A subsystem has exactly one output port (its inner model's single outport);
+multi-output subsystems can be modelled as several subsystems sharing the
+inner model.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .blocks import Block, BlockError, BlockNotConvertibleError
+from .model import SimulinkModel
+
+__all__ = ["Subsystem", "flatten_model"]
+
+
+class Subsystem(Block):
+    """A composite block: inputs feed the inner model's Inports (in the
+    declared order), the output is the inner model's single Outport."""
+
+    kind = "Subsystem"
+
+    def __init__(
+        self,
+        name: str,
+        inner: SimulinkModel,
+        input_order: Optional[Sequence[str]] = None,
+    ):
+        inner.validate()
+        outports = inner.outports()
+        if len(outports) != 1:
+            raise BlockError(
+                f"subsystem {name!r} requires exactly one inner outport, "
+                f"found {len(outports)}"
+            )
+        inports = inner.inports()
+        if input_order is None:
+            input_order = sorted(b.name for b in inports)
+        else:
+            declared, actual = set(input_order), {b.name for b in inports}
+            if declared != actual:
+                raise BlockError(
+                    f"subsystem {name!r} input_order {sorted(declared)} does not "
+                    f"match the inner inports {sorted(actual)}"
+                )
+        self.inner = inner
+        self.input_order = list(input_order)
+        self.output_port = outports[0]
+        first_type = (
+            inner.blocks[self.input_order[0]].output_type if self.input_order else "double"
+        )
+        super().__init__(
+            name, len(self.input_order), first_type, self.output_port.output_type
+        )
+
+    def compute(self, inputs: Sequence) -> object:
+        self._check_arity(inputs)
+        env = dict(zip(self.input_order, inputs))
+        return self.inner.simulate(env)[self.output_port.name]
+
+    def symbolic(self, inputs: Sequence) -> object:
+        raise BlockNotConvertibleError(
+            f"subsystem {self.name!r} must be flattened before conversion; "
+            "use repro.simulink.flatten_model"
+        )
+
+    def parameter_text(self) -> str:
+        return f"<{self.inner.name}>"
+
+
+def _clone_renamed(block: Block, new_name: str) -> Block:
+    clone = copy.copy(block)
+    clone.name = new_name
+    return clone
+
+
+def _resolve(alias: Dict[str, str], name: str) -> str:
+    seen = set()
+    while name in alias and name not in seen:
+        seen.add(name)
+        name = alias[name]
+    return name
+
+
+def flatten_model(model: SimulinkModel) -> SimulinkModel:
+    """Inline all subsystems recursively; names become ``sub/inner``.
+
+    The result is behaviourally identical (same simulation function) and
+    contains no :class:`Subsystem` blocks, so the conversion pipeline can
+    process it.  Models without subsystems are returned unchanged.
+    """
+    model.validate()
+    if not any(isinstance(b, Subsystem) for b in model.blocks.values()):
+        return model
+
+    blocks: Dict[str, Block] = {}
+    edges: List[Tuple[str, str, int]] = []  # (source, destination, port)
+    alias: Dict[str, str] = {}  # name -> name of the block producing it
+
+    def walk(current: SimulinkModel, prefix: str, port_drivers: Dict[str, str]) -> None:
+        """Inline ``current`` under ``prefix``.
+
+        ``port_drivers`` maps the inner Inport names of a subsystem level to
+        the fully-qualified outer block names driving them (empty at the
+        root, whose Inports are real inputs).
+        """
+        inport_names = {b.name for b in current.inports()}
+        outports = current.outports()
+        boundary_out = outports[0].name if prefix else None
+
+        for name, block in current.blocks.items():
+            full = prefix + name
+            if prefix and name in inport_names:
+                alias[full] = port_drivers[name]
+                continue
+            if prefix and name == boundary_out:
+                driver = current.driver_of(name, 0)
+                assert driver is not None, "validated model"
+                alias[full] = prefix + driver
+                continue
+            if isinstance(block, Subsystem):
+                inner_drivers: Dict[str, str] = {}
+                for index, inner_port in enumerate(block.input_order):
+                    outer = current.driver_of(name, index)
+                    assert outer is not None, "validated model"
+                    inner_drivers[inner_port] = prefix + outer
+                walk(block.inner, full + "/", inner_drivers)
+                inner_out = block.inner.driver_of(block.output_port.name, 0)
+                assert inner_out is not None
+                alias[full] = full + "/" + inner_out
+                continue
+            blocks[full] = _clone_renamed(block, full)
+            for port in range(block.num_inputs):
+                driver = current.driver_of(name, port)
+                assert driver is not None, "validated model"
+                edges.append((prefix + driver, full, port))
+
+    walk(model, "", {})
+    flat = SimulinkModel(model.name)
+    for block in blocks.values():
+        flat.add(block)
+    for source, destination, port in edges:
+        flat.connect(_resolve(alias, source), destination, port)
+    flat.validate()
+    return flat

@@ -1,0 +1,163 @@
+"""Tests for the MathSAT-like and CVC-Lite-like comparison solvers."""
+
+import pytest
+
+from repro.baselines import CVCLiteLikeSolver, MathSATLikeSolver, OutOfMemoryAbort
+from repro.core import ABProblem, ABSolver, parse_constraint
+from repro.core.interface import UnsupportedTheoryError
+
+ALL_BASELINES = [MathSATLikeSolver, CVCLiteLikeSolver]
+
+
+def linear_problem(sat=True):
+    problem = ABProblem()
+    problem.add_clause([1, 2])
+    problem.add_clause([3])
+    problem.define(1, "real", parse_constraint("x >= 5"))
+    problem.define(2, "real", parse_constraint("x <= 3"))
+    problem.define(3, "real", parse_constraint("x <= 100" if sat else "x >= 200"))
+    if not sat:
+        problem.add_clause([2])
+        problem.add_clause([1])
+    return problem
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_sat_with_valid_model(self, baseline):
+        problem = linear_problem(sat=True)
+        result = baseline().solve(problem)
+        assert result.is_sat
+        assert problem.check_model(result.model.boolean, result.model.theory)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_unsat(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        assert baseline().solve(problem).is_unsat
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_boolean_only(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        problem.add_clause([-1])
+        result = baseline().solve(problem)
+        assert result.is_sat
+        assert result.model.boolean[2] is True
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_pure_boolean_unsat(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([-1])
+        assert baseline().solve(problem).is_unsat
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_integer_domains(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "int", parse_constraint("x > 1"))
+        problem.define(2, "int", parse_constraint("x < 3"))
+        result = baseline().solve(problem)
+        assert result.is_sat
+        assert result.model.theory["x"] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_negated_equality_case_split(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([-1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "real", parse_constraint("x = 3"))
+        problem.define(2, "real", parse_constraint("x >= 2"))
+        problem.define(3, "real", parse_constraint("x <= 4"))
+        result = baseline().solve(problem)
+        assert result.is_sat
+        assert result.model.theory["x"] != pytest.approx(3.0)
+
+
+class TestNonlinearRejection:
+    """Table 1 behaviour: both baselines reject nonlinear arithmetic."""
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_rejects_product(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x * y >= 1"))
+        with pytest.raises(UnsupportedTheoryError):
+            baseline().solve(problem)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_rejects_division_by_variable(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("1 / x <= 2"))
+        with pytest.raises(UnsupportedTheoryError):
+            baseline().solve(problem)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_error_names_the_constraint(self, baseline):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x * x >= 1"))
+        with pytest.raises(UnsupportedTheoryError, match="x"):
+            baseline().solve(problem)
+
+
+class TestCVCMemoryModel:
+    def test_tiny_budget_aborts(self):
+        problem = ABProblem()
+        # a wide unconstrained Boolean space forces many live frames
+        for var in range(1, 30, 3):
+            problem.add_clause([var, var + 1, var + 2])
+        solver = CVCLiteLikeSolver(memory_budget_bytes=512)
+        with pytest.raises(OutOfMemoryAbort):
+            solver.solve(problem)
+
+    def test_generous_budget_succeeds(self):
+        problem = ABProblem()
+        for var in range(1, 30, 3):
+            problem.add_clause([var, var + 1, var + 2])
+        result = CVCLiteLikeSolver(memory_budget_bytes=64 * 1024 * 1024).solve(problem)
+        assert result.is_sat
+
+
+class TestMathSATBudget:
+    def test_theory_budget_yields_unknown(self):
+        problem = linear_problem(sat=True)
+        result = MathSATLikeSolver(max_theory_checks=0).solve(problem)
+        assert result.status.value == "unknown"
+
+    def test_early_pruning_interval(self):
+        problem = linear_problem(sat=True)
+        eager = MathSATLikeSolver(early_pruning_interval=1)
+        lazy = MathSATLikeSolver(early_pruning_interval=1000)
+        assert eager.solve(problem).is_sat
+        assert lazy.solve(problem).is_sat
+        # eager consults the LP at least as often
+        assert eager.stats.linear_checks >= lazy.stats.linear_checks
+
+
+class TestAgreementWithABSolver:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_verdicts_agree_on_linear_problems(self, baseline):
+        cases = []
+        for sat in (True, False):
+            problem = ABProblem()
+            problem.add_clause([1, 2])
+            problem.define(1, "real", parse_constraint("x - y >= 2"))
+            problem.define(2, "real", parse_constraint("x + y <= 4"))
+            if not sat:
+                problem.add_clause([3])
+                problem.define(3, "real", parse_constraint("x <= -1000"))
+                problem.add_clause([4])
+                problem.define(4, "real", parse_constraint("x >= 1000"))
+            cases.append(problem)
+        for problem in cases:
+            reference = ABSolver().solve(problem)
+            result = baseline().solve(problem)
+            assert result.status == reference.status

@@ -1,0 +1,85 @@
+"""Tests for the preprocessing Boolean adapter (cdcl-pre)."""
+
+import pytest
+
+from repro.benchgen import fischer_problem, steering_problem
+from repro.core import ABProblem, ABSolver, ABSolverConfig, parse_constraint
+from repro.core.interface import PreprocessingCDCLAdapter
+from repro.core.registry import default_registry
+from repro.sat import CNF
+
+
+class TestAdapterDirect:
+    def test_solves_and_reconstructs(self):
+        cnf = CNF()
+        cnf.add_clause([-3, 1])
+        cnf.add_clause([-3, 2])
+        cnf.add_clause([3, -1, -2])
+        cnf.add_clause([3])
+        adapter = PreprocessingCDCLAdapter()
+        model = adapter.solve(cnf)
+        assert model is not None
+        assert cnf.is_satisfied_by(model)
+        assert set(model) == {1, 2, 3}
+
+    def test_unsat_detected_in_preprocessing(self):
+        cnf = CNF(1, [[1], [-1]])
+        adapter = PreprocessingCDCLAdapter()
+        assert adapter.solve(cnf) is None
+        assert adapter.solve(cnf) is None  # stays UNSAT
+
+    def test_blocking_clause_on_frozen_vars(self):
+        cnf = CNF(2, [[1, 2]])
+        adapter = PreprocessingCDCLAdapter()
+        adapter.set_frozen_variables([1, 2])
+        first = adapter.solve(cnf)
+        assert first is not None
+        adapter.add_clause([(-v if first[v] else v) for v in (1, 2)])
+        second = adapter.solve(cnf)
+        assert second is not None
+        assert (second[1], second[2]) != (first[1], first[2])
+
+    def test_add_clause_before_solve_rejected(self):
+        with pytest.raises(RuntimeError):
+            PreprocessingCDCLAdapter().add_clause([1])
+
+    def test_registered(self):
+        assert default_registry.is_registered("boolean", "cdcl-pre")
+
+
+class TestInControlLoop:
+    def test_agrees_with_plain_cdcl_on_fig2(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([-2, 3])
+        problem.define(1, "int", parse_constraint("i >= 0"))
+        problem.define(2, "int", parse_constraint("2*i + j < 10"))
+        problem.define(3, "int", parse_constraint("i + j < 5"))
+        plain = ABSolver(ABSolverConfig(boolean="cdcl")).solve(problem)
+        preprocessed = ABSolver(ABSolverConfig(boolean="cdcl-pre")).solve(problem)
+        assert plain.status == preprocessed.status
+        assert problem.check_model(
+            preprocessed.model.boolean, preprocessed.model.theory
+        )
+
+    def test_unsat_problem(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        assert ABSolver(ABSolverConfig(boolean="cdcl-pre")).solve(problem).is_unsat
+
+    def test_steering_with_preprocessing(self):
+        problem = steering_problem()
+        result = ABSolver(ABSolverConfig(boolean="cdcl-pre")).solve(problem)
+        assert result.is_sat
+        assert problem.check_model(result.model.boolean, result.model.theory)
+
+    def test_fischer_with_preprocessing(self):
+        problem = fischer_problem(2)
+        result = ABSolver(
+            ABSolverConfig(boolean="cdcl-pre", linear="difference")
+        ).solve(problem)
+        assert result.is_sat
+        assert problem.check_model(result.model.boolean, result.model.theory)

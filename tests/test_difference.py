@@ -1,0 +1,139 @@
+"""Tests for the difference-logic (Bellman–Ford) solver."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expr import parse_constraint
+from repro.linear import (
+    DifferenceLogicSolver,
+    LinearConstraint,
+    LinearSystem,
+    LPStatus,
+    SimplexSolver,
+    is_difference_row,
+    is_difference_system,
+)
+
+
+def row(text, tag=None):
+    return LinearConstraint.from_constraint(parse_constraint(text), tag=tag)
+
+
+class TestFragmentDetection:
+    def test_difference_rows(self):
+        assert is_difference_row(row("x - y <= 3"))
+        assert is_difference_row(row("x <= 3"))
+        assert is_difference_row(row("0 - x <= 3"))
+        assert is_difference_row(row("1 <= 2"))
+
+    def test_non_difference_rows(self):
+        assert not is_difference_row(row("2*x - y <= 3"))
+        assert not is_difference_row(row("x + y <= 3"))
+        assert not is_difference_row(row("x - y + z <= 3"))
+
+    def test_system_with_int_vars_excluded(self):
+        system = LinearSystem([row("x - y <= 1")], {"x": "int"})
+        assert not is_difference_system(system)
+
+
+class TestFeasibility:
+    def test_simple_chain(self):
+        system = LinearSystem([row("x - y <= 1"), row("y - z <= 2"), row("z <= 0")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.FEASIBLE
+        assert system.check_point(result.point)
+
+    def test_negative_cycle_infeasible(self):
+        system = LinearSystem(
+            [row("x - y <= -1", tag=1), row("y - z <= -1", tag=2), row("z - x <= -1", tag=3)]
+        )
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.INFEASIBLE
+        assert result.core_indices == [0, 1, 2]
+
+    def test_zero_cycle_weak_feasible(self):
+        system = LinearSystem([row("x - y <= 0"), row("y - x <= 0")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.FEASIBLE
+
+    def test_zero_cycle_strict_infeasible(self):
+        system = LinearSystem([row("x - y < 0"), row("y - x <= 0")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_strict_feasible_with_margin(self):
+        system = LinearSystem([row("x - y < 5"), row("y - x < -2")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.FEASIBLE
+        assert system.check_point(result.point)
+
+    def test_equality_rows(self):
+        system = LinearSystem([row("x - y = 3"), row("y = 1")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.FEASIBLE
+        assert result.point["x"] == Fraction(4)
+
+    def test_single_variable_bounds(self):
+        system = LinearSystem([row("x >= 2"), row("x <= 5")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.FEASIBLE
+        assert Fraction(2) <= result.point["x"] <= Fraction(5)
+
+    def test_trivially_false_row(self):
+        system = LinearSystem([row("0 >= 1")])
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_outside_fragment_raises(self):
+        with pytest.raises(ValueError):
+            DifferenceLogicSolver().check(LinearSystem([row("x + y <= 1")]))
+
+    def test_core_is_infeasible_subset(self):
+        system = LinearSystem(
+            [
+                row("a <= 10"),
+                row("x - y <= -2"),
+                row("y - x <= 1"),
+                row("b >= 0"),
+            ]
+        )
+        result = DifferenceLogicSolver().check(system)
+        assert result.status is LPStatus.INFEASIBLE
+        core_rows = [system.rows[i] for i in result.core_indices]
+        assert SimplexSolver().check(LinearSystem(core_rows)).status is LPStatus.INFEASIBLE
+
+
+@st.composite
+def random_difference_system(draw):
+    num_vars = draw(st.integers(2, 5))
+    names = [f"v{i}" for i in range(num_vars)]
+    rows = []
+    for _ in range(draw(st.integers(1, 10))):
+        kind = draw(st.integers(0, 2))
+        bound = draw(st.integers(-6, 6))
+        relation = draw(st.sampled_from(["<=", "<", ">=", ">", "="]))
+        if kind == 0:
+            a = draw(st.sampled_from(names))
+            rows.append(row(f"{a} {relation} {bound}"))
+        else:
+            a, b = draw(st.sampled_from(names)), draw(st.sampled_from(names))
+            if a == b:
+                continue
+            rows.append(row(f"{a} - {b} {relation} {bound}"))
+    return LinearSystem(rows)
+
+
+class TestAgreementWithSimplex:
+    @settings(max_examples=60, deadline=None)
+    @given(random_difference_system())
+    def test_verdicts_match_simplex(self, system):
+        bf = DifferenceLogicSolver().check(system)
+        lp = SimplexSolver().check(system)
+        assert bf.status == lp.status
+        if bf.status is LPStatus.FEASIBLE:
+            assert system.check_point(bf.point)
+        else:
+            core_rows = [system.rows[i] for i in bf.core_indices]
+            assert SimplexSolver().check(LinearSystem(core_rows)).status is LPStatus.INFEASIBLE

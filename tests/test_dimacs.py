@@ -1,0 +1,177 @@
+"""Tests for the extended DIMACS input language (Fig. 2 format)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import parse_constraint
+from repro.core.problem import ABProblem
+from repro.io.dimacs import (
+    DimacsError,
+    format_dimacs,
+    parse_dimacs,
+    write_dimacs,
+)
+
+FIG2_TEXT = """p cnf 5 4
+1 0
+-2 3 0
+4 0
+5 0
+c def int 1 i >= 0
+c def int 5 j >= 0
+c def int 2 2*i + j < 10
+c def int 3 i + j < 5
+c def real 4 a * x + 3.5 / ( 4 - y ) +
+c cont 2 * y >= 7.1
+"""
+
+
+class TestParsing:
+    def test_fig2(self):
+        problem = parse_dimacs(FIG2_TEXT)
+        assert problem.cnf.num_clauses == 4
+        assert problem.cnf.num_vars == 5
+        assert len(problem.definitions) == 5
+        assert problem.definitions[2].domain == "int"
+        assert str(problem.definitions[3].constraint) == "i + j < 5"
+
+    def test_continuation_line(self):
+        problem = parse_dimacs(FIG2_TEXT)
+        constraint = problem.definitions[4].constraint
+        assert constraint.variables() == {"a", "x", "y"}
+
+    def test_plain_sat_solver_compatibility(self):
+        """A Boolean solver ignoring 'c' lines sees a plain CNF (the paper's
+        compatibility claim)."""
+        from repro.sat import solve_cdcl
+
+        problem = parse_dimacs(FIG2_TEXT)
+        assert solve_cdcl(problem.cnf) is not None
+
+    def test_bounds(self):
+        text = "p cnf 1 1\n1 0\nc def real 1 x >= 0\nc bound x -7.0 7.0\nc bound y - 3.5\n"
+        problem = parse_dimacs(text)
+        assert problem.bounds["x"] == (-7.0, 7.0)
+        assert problem.bounds["y"] == (None, 3.5)
+
+    def test_comments_ignored(self):
+        text = "c just a comment\np cnf 1 1\nc another one\n1 0\n"
+        problem = parse_dimacs(text)
+        assert problem.cnf.num_clauses == 1
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        problem = parse_dimacs(text)
+        assert problem.cnf.clauses == [(1, 2, 3)]
+
+    def test_multiple_clauses_one_line(self):
+        text = "p cnf 2 2\n1 0 -2 0\n"
+        problem = parse_dimacs(text)
+        assert problem.cnf.num_clauses == 2
+
+
+class TestErrors:
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_bad_domain(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1 0\nc def float 1 x >= 0\n")
+
+    def test_bad_constraint(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1 0\nc def real 1 x + >= 0\n")
+
+    def test_duplicate_definition(self):
+        text = "p cnf 1 1\n1 0\nc def real 1 x >= 0\nc def real 1 y >= 0\n"
+        with pytest.raises(DimacsError):
+            parse_dimacs(text)
+
+    def test_cont_without_def(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1 0\nc cont x >= 0\n")
+
+    def test_clause_count_overflow(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1 0\n-1 0\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_negative_definition_index(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n1 0\nc def real -1 x >= 0\n")
+
+
+class TestRoundTrip:
+    def test_fig2_roundtrip(self):
+        problem = parse_dimacs(FIG2_TEXT)
+        again = parse_dimacs(format_dimacs(problem))
+        assert again.cnf.clauses == problem.cnf.clauses
+        assert set(again.definitions) == set(problem.definitions)
+        for var in problem.definitions:
+            assert str(again.definitions[var].constraint) == str(
+                problem.definitions[var].constraint
+            )
+
+    def test_write_to_stream(self):
+        problem = parse_dimacs(FIG2_TEXT)
+        buffer = io.StringIO()
+        write_dimacs(problem, buffer)
+        assert "p cnf" in buffer.getvalue()
+
+    def test_write_to_file(self, tmp_path):
+        problem = parse_dimacs(FIG2_TEXT)
+        path = tmp_path / "out.cnf"
+        write_dimacs(problem, str(path))
+        from repro.io.dimacs import parse_dimacs_file
+
+        again = parse_dimacs_file(str(path))
+        assert again.cnf.clauses == problem.cnf.clauses
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(-6, 6).filter(lambda v: v != 0), min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.dictionaries(
+            st.integers(1, 6),
+            st.sampled_from(
+                ["x >= 0", "2*x + y < 10", "x * y <= 3", "x / (y + 2) = 1"]
+            ),
+            max_size=3,
+        ),
+    )
+    def test_random_roundtrip(self, clauses, defs):
+        problem = ABProblem()
+        for clause in clauses:
+            problem.add_clause(clause)
+        for var, text in defs.items():
+            problem.define(var, "real", parse_constraint(text))
+        again = parse_dimacs(format_dimacs(problem))
+        assert again.cnf.clauses == problem.cnf.clauses
+        assert set(again.definitions) == set(problem.definitions)
+
+    def test_solve_equivalence_after_roundtrip(self):
+        from repro.core import ABSolver
+
+        problem = parse_dimacs(FIG2_TEXT)
+        problem.set_bounds("a", -10, 10)
+        problem.set_bounds("x", -10, 10)
+        problem.set_bounds("y", -10, 10)
+        again = parse_dimacs(format_dimacs(problem))
+        r1 = ABSolver().solve(problem)
+        r2 = ABSolver().solve(again)
+        assert r1.status == r2.status

@@ -1,0 +1,153 @@
+"""Tests for the textual model file format."""
+
+import pytest
+
+from repro.benchgen import build_fig1_model
+from repro.io.mdl import MdlError, format_model, parse_model, parse_model_file, write_model
+from repro.simulink import model_to_problem
+
+ADDER_TEXT = """\
+# a tiny threshold monitor
+model adder
+block Inport a - -
+block Inport b -5.0 5.0
+block Sum s ++
+block Constant limit 10.0
+block RelationalOperator cmp <
+block Outport ok boolean
+connect a s 0
+connect b s 1
+connect s cmp 0
+connect limit cmp 1
+connect cmp ok 0
+end
+"""
+
+
+class TestParsing:
+    def test_adder(self):
+        model = parse_model(ADDER_TEXT)
+        assert model.name == "adder"
+        assert len(model.blocks) == 6
+        assert model.simulate({"a": 3, "b": 4})["ok"] is True
+
+    def test_comments_and_blank_lines(self):
+        model = parse_model("\n# hi\n" + ADDER_TEXT)
+        assert model.name == "adder"
+
+    def test_inport_ranges(self):
+        model = parse_model(ADDER_TEXT)
+        inport = model.blocks["b"]
+        assert inport.low == -5.0 and inport.high == 5.0
+        assert model.blocks["a"].low is None
+
+    def test_all_block_kinds_parse(self):
+        text = """\
+model zoo
+block Inport x -1.0 1.0
+block BoolInport flag
+block Constant c 2.5
+block Sum s +-
+block Product p */
+block Gain g 3.0
+block Abs ab
+block Sqrt sq
+block Trig t sin
+block RelationalOperator r >=
+block LogicalOperator l NAND 3
+block Saturation sat -1.0 1.0
+block Switch sw
+block Bias bi 0.5
+block UnaryMinus um
+block MinMax mm max 2
+block DeadZone dz -0.5 0.5
+block Outport o double
+block Outport o2 double
+connect x s 0
+connect c s 1
+connect s p 0
+connect c p 1
+connect p g 0
+connect g ab 0
+connect ab sq 0
+connect sq t 0
+connect t r 0
+connect c r 1
+connect r l 0
+connect flag l 1
+connect r l 2
+connect x sat 0
+connect sat sw 0
+connect flag sw 1
+connect c sw 2
+connect sw o 0
+connect x bi 0
+connect bi um 0
+connect um mm 0
+connect c mm 1
+connect mm dz 0
+connect dz o2 0
+end
+"""
+        model = parse_model(text)
+        assert len(model.blocks) == 19
+        outputs = model.simulate({"x": 0.25, "flag": True})
+        assert "o2" in outputs
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(MdlError):
+            parse_model("block Inport x\nend\n")
+
+    def test_unknown_kind(self):
+        with pytest.raises(MdlError, match="Integrator"):
+            parse_model("model m\nblock Integrator i\nend\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(MdlError):
+            parse_model("model m\nwire a b\nend\n")
+
+    def test_bad_connect(self):
+        with pytest.raises(MdlError):
+            parse_model("model m\nblock Inport x\nconnect x\nend\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(MdlError):
+            parse_model("model m\nblock Inport x\nblock Outport o double\nconnect x o 0\nend\nblock Inport y\n")
+
+    def test_validation_runs(self):
+        # Outport never connected -> model invalid
+        with pytest.raises(Exception):
+            parse_model("model m\nblock Inport x\nblock Outport o double\nend\n")
+
+    def test_bad_parameters(self):
+        with pytest.raises(MdlError):
+            parse_model("model m\nblock Gain g not-a-number\nend\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(MdlError):
+            parse_model("model m\nmodel n\nend\n")
+
+
+class TestRoundTrip:
+    def test_adder_roundtrip(self):
+        model = parse_model(ADDER_TEXT)
+        again = parse_model(format_model(model))
+        assert set(again.blocks) == set(model.blocks)
+        assert set(again.connections) == set(model.connections)
+        assert again.simulate({"a": 1, "b": 2}) == model.simulate({"a": 1, "b": 2})
+
+    def test_fig1_roundtrip_and_convert(self):
+        model = build_fig1_model()
+        again = parse_model(format_model(model))
+        problem_a = model_to_problem(model)
+        problem_b = model_to_problem(again)
+        assert problem_a.stats().as_row() == problem_b.stats().as_row()
+
+    def test_file_io(self, tmp_path):
+        model = parse_model(ADDER_TEXT)
+        path = tmp_path / "adder.mdl"
+        write_model(model, str(path))
+        again = parse_model_file(str(path))
+        assert again.name == "adder"

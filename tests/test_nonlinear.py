@@ -1,0 +1,217 @@
+"""Tests for the nonlinear solvers: augmented Lagrangian, Newton, refuter."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expr import parse_constraint, parse_expression
+from repro.nonlinear import (
+    AugmentedLagrangianSolver,
+    NewtonSolver,
+    NLPStatus,
+    scipy_available,
+)
+from repro.nonlinear.refute import IntervalRefuter, RefuteStatus, squares_to_powers
+
+
+def solve(constraints, bounds=None, **kwargs):
+    solver = AugmentedLagrangianSolver(**kwargs)
+    return solver.solve([parse_constraint(c) for c in constraints], bounds=bounds)
+
+
+class TestAugLag:
+    def test_empty_is_sat(self):
+        result = AugmentedLagrangianSolver().solve([])
+        assert result.is_sat and result.certified
+
+    def test_single_inequality(self):
+        result = solve(["x * x <= 4"], bounds={"x": (-10, 10)})
+        assert result.is_sat
+        assert abs(result.point["x"]) <= 2 + 1e-6
+
+    def test_equality_circle_line(self):
+        result = solve(
+            ["x * x + y * y = 25", "x - y = 1"],
+            bounds={"x": (-10, 10), "y": (-10, 10)},
+        )
+        assert result.is_sat
+        x, y = result.point["x"], result.point["y"]
+        assert x * x + y * y == pytest.approx(25, abs=1e-5)
+        assert x - y == pytest.approx(1, abs=1e-5)
+
+    def test_fig2_constraint(self):
+        result = solve(
+            ["a * x + 3.5 / (4 - y) + 2 * y >= 7.1"],
+            bounds={"a": (-10, 10), "x": (-10, 10), "y": (-10, 3.9)},
+        )
+        assert result.is_sat
+
+    def test_transcendental(self):
+        result = solve(
+            ["sin(x) >= 0.99", "x >= 0", "x <= 3"], bounds={"x": (0, 3)}
+        )
+        assert result.is_sat
+        assert math.sin(result.point["x"]) >= 0.99 - 1e-6
+
+    def test_infeasible_returns_unknown(self):
+        result = solve(["x * x < 0"], bounds={"x": (-5, 5)})
+        assert result.status is NLPStatus.UNKNOWN
+
+    def test_strict_inequality_margin(self):
+        result = solve(["x * x > 4"], bounds={"x": (-10, 10)})
+        assert result.is_sat
+        assert result.point["x"] ** 2 > 4
+
+    def test_hint_speeds_convergence(self):
+        constraints = [parse_constraint("x * x + y * y = 25"), parse_constraint("x - y = 1")]
+        solver = AugmentedLagrangianSolver(max_starts=2)
+        result = solver.solve(
+            constraints, bounds={"x": (-10, 10), "y": (-10, 10)}, hints=[{"x": 4.0, "y": 3.0}]
+        )
+        assert result.is_sat and result.starts_used == 1
+
+    def test_deterministic(self):
+        r1 = solve(["x * y >= 3", "x + y <= 5"], bounds={"x": (0, 5), "y": (0, 5)})
+        r2 = solve(["x * y >= 3", "x + y <= 5"], bounds={"x": (0, 5), "y": (0, 5)})
+        assert r1.point == r2.point
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(1, 5, allow_nan=False), st.floats(-2, 1, allow_nan=False))
+    def test_reachable_targets(self, radius, offset):
+        """x^2 = r^2 with offset <= radius is always solvable at x = radius."""
+        assert offset <= radius
+        result = solve(
+            [f"x * x = {radius * radius}", f"x >= {offset}"],
+            bounds={"x": (-10, 10)},
+        )
+        assert result.is_sat
+
+
+class TestNewton:
+    def test_applicability(self):
+        square = [parse_constraint("x*x + y*y = 25"), parse_constraint("x - y = 1")]
+        assert NewtonSolver.applicable(square)
+        assert not NewtonSolver.applicable([parse_constraint("x <= 1")])
+        assert not NewtonSolver.applicable([parse_constraint("x + y = 1")])
+        assert not NewtonSolver.applicable([])
+
+    def test_quadratic_root(self):
+        result = NewtonSolver().solve([parse_constraint("x * x = 2")], start={"x": 1.0})
+        assert result.converged
+        assert result.point["x"] == pytest.approx(math.sqrt(2))
+
+    def test_system(self):
+        constraints = [
+            parse_constraint("x * x + y * y = 25"),
+            parse_constraint("x - y = 1"),
+        ]
+        result = NewtonSolver().solve(constraints, start={"x": 5.0, "y": 5.0})
+        assert result.converged
+        assert result.point["x"] ** 2 + result.point["y"] ** 2 == pytest.approx(25)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            NewtonSolver().solve([parse_constraint("x <= 1")])
+
+    def test_nonconvergence_reported(self):
+        # x^2 = -1 has no real root; Newton must not claim success.
+        result = NewtonSolver().solve([parse_constraint("x * x = -1")], start={"x": 1.0})
+        assert not result.converged
+
+    def test_singular_jacobian_handled(self):
+        # derivative vanishes at the root (x^2 = 0): still converges (slowly)
+        result = NewtonSolver(max_iterations=200, tolerance=1e-6).solve(
+            [parse_constraint("x * x = 0")], start={"x": 1.0}
+        )
+        assert abs(result.point["x"]) < 1e-2
+
+
+class TestSquaresToPowers:
+    def test_rewrites_structural_squares(self):
+        expr = parse_expression("x * x + (y + 1) * (y + 1)")
+        rewritten = squares_to_powers(expr)
+        assert "^2" in str(rewritten)
+
+    def test_preserves_value(self):
+        expr = parse_expression("x * x - (x + y) * (x + y) / 2")
+        rewritten = squares_to_powers(expr)
+        env = {"x": 1.7, "y": -0.3}
+        assert rewritten.evaluate(env) == pytest.approx(expr.evaluate(env))
+
+    def test_leaves_products_alone(self):
+        expr = parse_expression("x * y")
+        assert squares_to_powers(expr) == expr
+
+
+class TestIntervalRefuter:
+    def test_refutes_square_negative(self):
+        result = IntervalRefuter().refute(
+            [parse_constraint("x * x < 0")], {"x": (-100, 100)}
+        )
+        assert result.status is RefuteStatus.REFUTED
+
+    def test_refutes_disk_vs_far_line(self):
+        constraints = [
+            parse_constraint("x * x + y * y < 1"),
+            parse_constraint("(x + y) * (x + y) > 8"),
+        ]
+        result = IntervalRefuter().refute(constraints, {"x": (-10, 10), "y": (-10, 10)})
+        assert result.status is RefuteStatus.REFUTED
+
+    def test_finds_sat_box(self):
+        result = IntervalRefuter().refute(
+            [parse_constraint("x * x <= 4")], {"x": (-1, 1)}
+        )
+        assert result.status is RefuteStatus.SAT_BOX
+
+    def test_budget_exhaustion_is_unknown(self):
+        # touching constraint boundary everywhere: never fully decided
+        constraints = [
+            parse_constraint("x * y >= 1"),
+            parse_constraint("x * y <= 1"),
+        ]
+        result = IntervalRefuter(max_boxes=10).refute(
+            constraints, {"x": (0.5, 2), "y": (0.5, 2)}
+        )
+        assert result.status is RefuteStatus.UNKNOWN
+
+    def test_infinite_box_direct_verdict(self):
+        result = IntervalRefuter().refute(
+            [parse_constraint("x * x < 0")], {"x": (-math.inf, math.inf)}
+        )
+        assert result.status is RefuteStatus.REFUTED
+
+    def test_requires_bounds(self):
+        with pytest.raises(ValueError):
+            IntervalRefuter().refute([parse_constraint("x >= 0")], {})
+
+    def test_never_refutes_satisfiable(self):
+        # soundness spot-check: satisfiable set must not be refuted
+        constraints = [
+            parse_constraint("x * x + y * y <= 1"),
+            parse_constraint("x + y >= 1"),
+        ]
+        result = IntervalRefuter().refute(constraints, {"x": (-2, 2), "y": (-2, 2)})
+        assert result.status is not RefuteStatus.REFUTED
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+class TestScipyBackend:
+    def test_same_interface(self):
+        from repro.nonlinear import ScipySLSQPSolver
+
+        solver = ScipySLSQPSolver()
+        result = solver.solve(
+            [parse_constraint("x * x + y * y = 25"), parse_constraint("x - y = 1")],
+            bounds={"x": (-10, 10), "y": (-10, 10)},
+        )
+        assert result.is_sat
+
+    def test_unknown_on_infeasible(self):
+        from repro.nonlinear import ScipySLSQPSolver
+
+        result = ScipySLSQPSolver(max_starts=3).solve(
+            [parse_constraint("x * x < 0")], bounds={"x": (-5, 5)}
+        )
+        assert result.status is NLPStatus.UNKNOWN

@@ -1,0 +1,125 @@
+"""Tests for the OMT extension (ABOptimizer)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ABProblem, parse_constraint
+from repro.core.interface import UnsupportedTheoryError
+from repro.core.optimize import ABOptimizer, OptimizationStatus
+
+
+def box_problem():
+    """x, y in [0, 10] with x + y >= 3 (forced)."""
+    problem = ABProblem()
+    for var in (1, 2, 3, 4, 5):
+        problem.add_clause([var])
+    problem.define(1, "real", parse_constraint("x >= 0"))
+    problem.define(2, "real", parse_constraint("x <= 10"))
+    problem.define(3, "real", parse_constraint("y >= 0"))
+    problem.define(4, "real", parse_constraint("y <= 10"))
+    problem.define(5, "real", parse_constraint("x + y >= 3"))
+    return problem
+
+
+class TestContinuous:
+    def test_minimize(self):
+        result = ABOptimizer().minimize(box_problem(), {"x": Fraction(1), "y": Fraction(1)})
+        assert result.is_optimal
+        assert result.objective == Fraction(3)
+
+    def test_maximize(self):
+        result = ABOptimizer().maximize(box_problem(), {"x": Fraction(1), "y": Fraction(2)})
+        assert result.is_optimal
+        assert result.objective == Fraction(30)
+        assert result.model.theory["y"] == pytest.approx(10.0)
+
+    def test_unsat_problem(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        result = ABOptimizer().minimize(problem, {"x": Fraction(1)})
+        assert result.status is OptimizationStatus.UNSAT
+
+    def test_unbounded(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x >= 0"))
+        result = ABOptimizer().maximize(problem, {"x": Fraction(1)})
+        assert result.status is OptimizationStatus.UNBOUNDED
+
+    def test_boolean_choice_influences_optimum(self):
+        """The optimizer must search over Boolean branches, not just one."""
+        problem = ABProblem()
+        problem.add_clause([1, 2])  # either regime A or regime B
+        problem.add_clause([3])
+        problem.add_clause([4])
+        problem.define(1, "real", parse_constraint("x >= 6"))  # regime A
+        problem.define(2, "real", parse_constraint("x >= 1"))  # regime B
+        problem.define(3, "real", parse_constraint("x <= 100"))
+        problem.define(4, "real", parse_constraint("x >= -100"))
+        result = ABOptimizer().minimize(problem, {"x": Fraction(1)})
+        assert result.is_optimal
+        # regime B admits x = 1; naive single-model optimization might get 6
+        assert result.objective == Fraction(1)
+
+    def test_strict_boundary_not_claimed(self):
+        """min x s.t. x > 0: the infimum 0 is unattained; the witness must
+        still be a genuine model."""
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x > 0"))
+        problem.define(2, "real", parse_constraint("x <= 10"))
+        result = ABOptimizer().minimize(problem, {"x": Fraction(1)})
+        assert result.is_optimal
+        assert result.model.theory["x"] > 0
+        assert problem.check_model(result.model.boolean, result.model.theory)
+
+
+class TestInteger:
+    def test_integer_minimum(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "int", parse_constraint("2*x >= 5"))
+        problem.define(2, "int", parse_constraint("x <= 100"))
+        result = ABOptimizer().minimize(problem, {"x": Fraction(1)})
+        assert result.is_optimal
+        assert result.objective == Fraction(3)  # smallest int with 2x >= 5
+
+    def test_integer_maximum_with_structure(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "int", parse_constraint("x >= 0"))
+        problem.define(2, "int", parse_constraint("3*x <= 17"))
+        problem.define(3, "int", parse_constraint("x <= 50"))
+        result = ABOptimizer().maximize(problem, {"x": Fraction(1)})
+        assert result.is_optimal
+        assert result.objective == Fraction(5)
+
+
+class TestRejections:
+    def test_nonlinear_rejected(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x * x <= 4"))
+        with pytest.raises(UnsupportedTheoryError):
+            ABOptimizer().minimize(problem, {"x": Fraction(1)})
+
+    def test_negated_equality_branches(self):
+        problem = ABProblem()
+        problem.add_clause([-1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "real", parse_constraint("x = 5"))
+        problem.define(2, "real", parse_constraint("x >= 0"))
+        problem.define(3, "real", parse_constraint("x <= 10"))
+        result = ABOptimizer().maximize(problem, {"x": Fraction(1)})
+        assert result.is_optimal
+        # x = 5 is excluded; the maximum over [0,10] \ {5} is 10
+        assert result.objective == Fraction(10)

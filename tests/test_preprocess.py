@@ -1,0 +1,173 @@
+"""Tests for the CNF preprocessor (equisatisfiability + reconstruction)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, solve_cdcl
+from repro.sat.preprocess import Preprocessor, preprocess
+
+
+def brute_sat(cnf: CNF) -> bool:
+    n = cnf.num_vars
+    return any(
+        cnf.is_satisfied_by({i + 1: bits[i] for i in range(n)})
+        for bits in itertools.product([False, True], repeat=n)
+    )
+
+
+class TestUnits:
+    def test_unit_chain_collapses(self):
+        cnf = CNF(3, [[1], [-1, 2], [-2, 3]])
+        result = preprocess(cnf)
+        assert not result.unsat
+        assert result.cnf.num_clauses == 0
+        assert result.forced == {1: True, 2: True, 3: True}
+
+    def test_unit_conflict_detected(self):
+        cnf = CNF(2, [[1], [-1, 2], [-2, -1]])
+        result = preprocess(cnf)
+        assert result.unsat
+
+    def test_extend_model_raises_on_unsat(self):
+        result = preprocess(CNF(1, [[1], [-1]]))
+        with pytest.raises(ValueError):
+            result.extend_model({})
+
+
+class TestPureLiterals:
+    def test_pure_literal_removed(self):
+        cnf = CNF(2, [[1, 2], [1, -2]])
+        result = preprocess(cnf)  # 1 is pure positive
+        assert result.cnf.num_clauses == 0
+        assert result.forced[1] is True
+
+    def test_frozen_variables_kept(self):
+        cnf = CNF(2, [[1, 2], [1, -2]])
+        result = Preprocessor(frozen=[1], variable_elimination=False).run(cnf)
+        assert 1 not in result.forced
+
+
+class TestSubsumption:
+    def test_superset_clause_removed(self):
+        cnf = CNF(3, [[1, 2], [1, 2, 3]])
+        result = Preprocessor(
+            unit_propagation=False,
+            pure_literals=False,
+            variable_elimination=False,
+        ).run(cnf)
+        assert result.cnf.num_clauses == 1
+
+    def test_duplicates_merged(self):
+        cnf = CNF(2, [[1, 2], [2, 1]])
+        result = Preprocessor(
+            unit_propagation=False,
+            pure_literals=False,
+            variable_elimination=False,
+        ).run(cnf)
+        assert result.cnf.num_clauses == 1
+
+
+class TestVariableElimination:
+    def test_tseitin_definition_eliminated(self):
+        # g <-> (a and b); g occurs nowhere else positive use: assert g
+        cnf = CNF()
+        cnf.add_clause([-3, 1])
+        cnf.add_clause([-3, 2])
+        cnf.add_clause([3, -1, -2])
+        result = Preprocessor(pure_literals=False, frozen=[1, 2]).run(cnf)
+        assert not result.unsat
+        assert all(3 not in map(abs, clause) for clause in result.cnf.clauses)
+
+    def test_model_reconstruction(self):
+        cnf = CNF()
+        cnf.add_clause([-3, 1])
+        cnf.add_clause([-3, 2])
+        cnf.add_clause([3, -1, -2])
+        cnf.add_clause([1])
+        cnf.add_clause([2])
+        result = preprocess(cnf, frozen=[1, 2])
+        assert not result.unsat
+        model = solve_cdcl(result.cnf) or {}
+        full = result.extend_model(model)
+        assert cnf.is_satisfied_by(full)
+        assert full[3] is True  # forced by the definition
+
+    def test_growth_limit_respected(self):
+        # eliminating var 1 here produces more clauses than it removes;
+        # the other variables are frozen so only var 1 is a candidate
+        cnf = CNF()
+        for a in (2, 3, 4):
+            cnf.add_clause([1, a])
+        for b in (5, 6, 7):
+            cnf.add_clause([-1, b])
+        before = cnf.num_clauses
+        result = Preprocessor(
+            unit_propagation=False,
+            pure_literals=False,
+            subsumption=False,
+            frozen=[2, 3, 4, 5, 6, 7],
+        ).run(cnf)
+        # 9 resolvents > 6 original clauses: elimination skipped
+        assert any(1 in map(abs, c) for c in result.cnf.clauses)
+        assert result.cnf.num_clauses == before
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(1, 6))
+    clauses = []
+    for _ in range(draw(st.integers(1, 12))):
+        width = draw(st.integers(1, 3))
+        clauses.append(
+            [
+                draw(st.sampled_from([1, -1])) * draw(st.integers(1, num_vars))
+                for _ in range(width)
+            ]
+        )
+    cnf = CNF(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestPreprocessProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(random_cnf())
+    def test_equisatisfiable(self, cnf):
+        result = preprocess(cnf)
+        expected = brute_sat(cnf)
+        if result.unsat:
+            assert not expected
+        else:
+            simplified_sat = solve_cdcl(result.cnf) is not None
+            assert simplified_sat == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(random_cnf())
+    def test_reconstructed_models_satisfy_original(self, cnf):
+        result = preprocess(cnf)
+        if result.unsat:
+            return
+        model = solve_cdcl(result.cnf)
+        if model is None:
+            return
+        full = result.extend_model(model)
+        assert cnf.is_satisfied_by(full)
+        assert set(full) == set(range(1, cnf.num_vars + 1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_cnf())
+    def test_frozen_vars_survive(self, cnf):
+        frozen = {1}
+        result = Preprocessor(frozen=frozen).run(cnf)
+        if result.unsat:
+            return
+        model = solve_cdcl(result.cnf)
+        if model is None:
+            return
+        full = result.extend_model(model)
+        # frozen variable value is meaningful: flipping it must not be
+        # required for satisfaction reconstruction (i.e., it has a value)
+        assert 1 in full

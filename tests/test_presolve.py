@@ -1,0 +1,112 @@
+"""Tests for the LP presolver (feasibility-equivalence property)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expr import parse_constraint
+from repro.linear import LinearConstraint, LinearSystem, LPStatus, SimplexSolver
+from repro.linear.presolve import presolve
+
+
+def row(text, tag=None):
+    return LinearConstraint.from_constraint(parse_constraint(text), tag=tag)
+
+
+def system(*texts, domains=None):
+    sys_ = LinearSystem([row(t) for t in texts])
+    for var, domain in (domains or {}).items():
+        sys_.set_domain(var, domain)
+    return sys_
+
+
+class TestReductions:
+    def test_singleton_rows_become_bounds(self):
+        result = presolve(system("x <= 5", "x >= 1", "x + y <= 10"))
+        assert not result.infeasible
+        # the two singletons were absorbed; the sum row survives
+        multi = [r for r in result.system.rows if len(r.coeffs) > 1]
+        assert len(multi) == 1
+
+    def test_fixed_variable_substituted(self):
+        result = presolve(system("x = 3", "x + y <= 10"))
+        assert result.fixed == {"x": Fraction(3)}
+        # surviving rows no longer mention x
+        assert all("x" not in r.coeffs for r in result.system.rows)
+
+    def test_contradictory_bounds_infeasible(self):
+        assert presolve(system("x >= 5", "x <= 3")).infeasible
+
+    def test_strict_bound_contradiction(self):
+        assert presolve(system("x > 3", "x <= 3")).infeasible
+        assert presolve(system("x >= 3", "x <= 3", "x < 3")).infeasible
+
+    def test_redundant_row_dropped(self):
+        result = presolve(system("x <= 1", "y <= 1", "x + y <= 10"))
+        assert not result.infeasible
+        assert all(len(r.coeffs) <= 1 for r in result.system.rows)
+        assert result.rows_removed >= 1
+
+    def test_impossible_row_detected(self):
+        assert presolve(system("x <= 1", "y <= 1", "x + y >= 10")).infeasible
+
+    def test_trivially_false_row(self):
+        assert presolve(system("0 >= 3")).infeasible
+
+    def test_integer_fixed_to_fraction_infeasible(self):
+        result = presolve(system("2*x = 1", domains={"x": "int"}))
+        assert result.infeasible
+
+    def test_complete_point(self):
+        sys_ = system("x = 3", "y <= 5", "y >= 5")
+        result = presolve(sys_)
+        assert not result.infeasible
+        point = result.complete_point({})
+        assert point["x"] == 3 and point["y"] == 5
+        assert sys_.check_point(point)
+
+    def test_input_not_mutated(self):
+        sys_ = system("x = 3", "x + y <= 10")
+        before = len(sys_.rows)
+        presolve(sys_)
+        assert len(sys_.rows) == before
+
+
+@st.composite
+def random_system(draw):
+    names = ["x", "y", "z"]
+    rows = []
+    for _ in range(draw(st.integers(1, 8))):
+        kind = draw(st.integers(0, 2))
+        relation = draw(st.sampled_from(["<=", ">=", "<", ">", "="]))
+        bound = draw(st.integers(-8, 8))
+        if kind == 0:
+            var = draw(st.sampled_from(names))
+            rows.append(row(f"{var} {relation} {bound}"))
+        else:
+            a = draw(st.sampled_from(names))
+            b = draw(st.sampled_from(names))
+            ca = draw(st.integers(-3, 3))
+            cb = draw(st.integers(-3, 3))
+            if ca == 0 and cb == 0:
+                continue
+            rows.append(row(f"{ca}*{a} + {cb}*{b} {relation} {bound}"))
+    return LinearSystem(rows)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(random_system())
+    def test_feasibility_preserved(self, sys_):
+        solver = SimplexSolver()
+        original = solver.check(sys_)
+        result = presolve(sys_)
+        if result.infeasible:
+            assert original.status is LPStatus.INFEASIBLE
+            return
+        reduced = solver.check(result.system)
+        assert reduced.status == original.status
+        if reduced.status is LPStatus.FEASIBLE:
+            point = result.complete_point(reduced.point)
+            assert sys_.check_point(point), (sys_.rows, point)

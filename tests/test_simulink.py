@@ -1,0 +1,244 @@
+"""Tests for the Simulink-like substrate: blocks, models, simulation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulink import (
+    Abs,
+    Bias,
+    BlockError,
+    BlockNotConvertibleError,
+    BoolInport,
+    Constant,
+    DeadZone,
+    Gain,
+    Inport,
+    LogicalOperator,
+    MinMax,
+    ModelValidationError,
+    Outport,
+    Product,
+    RelationalOperator,
+    Saturation,
+    SimulinkModel,
+    Sqrt,
+    Sum,
+    Switch,
+    Trig,
+    UnaryMinus,
+)
+
+
+def adder_model():
+    model = SimulinkModel("adder")
+    model.add(Inport("a"))
+    model.add(Inport("b"))
+    model.add(Sum("s", "++"))
+    model.add(Constant("limit", 10.0))
+    model.add(RelationalOperator("cmp", "<"))
+    model.add(Outport("ok"))
+    model.connect("a", "s", 0)
+    model.connect("b", "s", 1)
+    model.connect("s", "cmp", 0)
+    model.connect("limit", "cmp", 1)
+    model.connect("cmp", "ok", 0)
+    return model
+
+
+class TestBlocks:
+    def test_sum_signs(self):
+        block = Sum("s", "+-+")
+        assert block.compute([5, 2, 1]) == pytest.approx(4)
+
+    def test_sum_rejects_bad_signs(self):
+        with pytest.raises(BlockError):
+            Sum("s", "+*")
+
+    def test_product_ops(self):
+        assert Product("p", "**").compute([3, 4]) == pytest.approx(12)
+        assert Product("p", "*/").compute([12, 4]) == pytest.approx(3)
+
+    def test_gain(self):
+        assert Gain("g", 2.5).compute([4]) == pytest.approx(10)
+
+    def test_abs_sqrt_trig(self):
+        assert Abs("a").compute([-3]) == pytest.approx(3)
+        assert Sqrt("q").compute([9]) == pytest.approx(3)
+        assert Trig("t", "sin").compute([math.pi / 2]) == pytest.approx(1)
+
+    def test_trig_rejects_unknown(self):
+        with pytest.raises(BlockError):
+            Trig("t", "arcsinh")
+
+    def test_relational(self):
+        assert RelationalOperator("r", "<").compute([1, 2]) is True
+        assert RelationalOperator("r", ">=").compute([2, 2]) is True
+        assert RelationalOperator("r", "==").compute([2, 3]) is False
+
+    def test_logical_gates(self):
+        assert LogicalOperator("l", "AND", 3).compute([True, True, True]) is True
+        assert LogicalOperator("l", "NAND").compute([True, True]) is False
+        assert LogicalOperator("l", "XOR").compute([True, False]) is True
+        assert LogicalOperator("l", "NOT").compute([False]) is True
+
+    def test_saturation(self):
+        block = Saturation("sat", -1, 1)
+        assert block.compute([5]) == pytest.approx(1)
+        assert block.compute([-5]) == pytest.approx(-1)
+        assert block.compute([0.3]) == pytest.approx(0.3)
+
+    def test_saturation_not_convertible(self):
+        with pytest.raises(BlockNotConvertibleError):
+            Saturation("sat", -1, 1).symbolic([])
+
+    def test_switch(self):
+        block = Switch("sw")
+        assert block.compute([1.0, True, 2.0]) == pytest.approx(1.0)
+        assert block.compute([1.0, False, 2.0]) == pytest.approx(2.0)
+
+    def test_inport_range_validation(self):
+        with pytest.raises(BlockError):
+            Inport("x", 5, 1)
+
+    def test_bias(self):
+        assert Bias("b", 2.5).compute([1.0]) == pytest.approx(3.5)
+        from repro.core.expr import Var
+
+        expr = Bias("b", 2.5).symbolic([Var("x")])
+        assert expr.evaluate({"x": 1.0}) == pytest.approx(3.5)
+
+    def test_unary_minus(self):
+        assert UnaryMinus("n").compute([3.0]) == pytest.approx(-3.0)
+        from repro.core.expr import Var
+
+        expr = UnaryMinus("n").symbolic([Var("x")])
+        assert expr.evaluate({"x": 3.0}) == pytest.approx(-3.0)
+
+    def test_minmax(self):
+        assert MinMax("m", "min", 3).compute([3, 1, 2]) == pytest.approx(1)
+        assert MinMax("m", "max", 3).compute([3, 1, 2]) == pytest.approx(3)
+        with pytest.raises(BlockError):
+            MinMax("m", "median")
+        with pytest.raises(BlockNotConvertibleError):
+            MinMax("m", "min").symbolic([])
+
+    def test_dead_zone(self):
+        block = DeadZone("dz", -1, 1)
+        assert block.compute([0.5]) == pytest.approx(0.0)
+        assert block.compute([2.0]) == pytest.approx(1.0)
+        assert block.compute([-3.0]) == pytest.approx(-2.0)
+        with pytest.raises(BlockError):
+            DeadZone("dz", 1, -1)
+        with pytest.raises(BlockNotConvertibleError):
+            block.symbolic([])
+
+
+class TestModelStructure:
+    def test_duplicate_name_rejected(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x"))
+        with pytest.raises(ModelValidationError):
+            model.add(Inport("x"))
+
+    def test_double_driver_rejected(self):
+        model = adder_model()
+        with pytest.raises(ModelValidationError):
+            model.connect("a", "s", 0)
+
+    def test_unknown_block_rejected(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x"))
+        with pytest.raises(ModelValidationError):
+            model.connect("x", "nope", 0)
+
+    def test_bad_port_rejected(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x"))
+        model.add(Outport("o"))
+        with pytest.raises(ModelValidationError):
+            model.connect("x", "o", 5)
+
+    def test_unconnected_port_detected(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x"))
+        model.add(Sum("s", "++"))
+        model.add(Outport("o", "double"))
+        model.connect("x", "s", 0)
+        model.connect("s", "o", 0)
+        with pytest.raises(ModelValidationError):
+            model.validate()
+
+    def test_cycle_detected(self):
+        model = SimulinkModel("m")
+        model.add(Sum("s1", "++"))
+        model.add(Sum("s2", "++"))
+        model.add(Inport("x"))
+        model.connect("s2", "s1", 0)
+        model.connect("x", "s1", 1)
+        model.connect("s1", "s2", 0)
+        model.connect("x", "s2", 1)
+        with pytest.raises(ModelValidationError):
+            model.validate()
+
+
+class TestSimulation:
+    def test_adder(self):
+        model = adder_model()
+        assert model.simulate({"a": 3, "b": 4})["ok"] is True
+        assert model.simulate({"a": 8, "b": 4})["ok"] is False
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(BlockError):
+            adder_model().simulate({"a": 3})
+
+    def test_range_enforced(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x", -1, 1))
+        model.add(Outport("o", "double"))
+        model.connect("x", "o", 0)
+        assert model.simulate({"x": 0.5})["o"] == pytest.approx(0.5)
+        with pytest.raises(BlockError):
+            model.simulate({"x": 2.0})
+
+    def test_boolean_inport(self):
+        model = SimulinkModel("m")
+        model.add(BoolInport("flag"))
+        model.add(LogicalOperator("inv", "NOT"))
+        model.add(Outport("o"))
+        model.connect("flag", "inv", 0)
+        model.connect("inv", "o", 0)
+        assert model.simulate({"flag": False})["o"] is True
+
+    def test_saturation_and_switch_simulate(self):
+        model = SimulinkModel("m")
+        model.add(Inport("x"))
+        model.add(Saturation("sat", 0, 1))
+        model.add(Outport("o", "double"))
+        model.connect("x", "sat", 0)
+        model.connect("sat", "o", 0)
+        assert model.simulate({"x": 7})["o"] == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-100, 100, allow_nan=False), st.floats(-100, 100, allow_nan=False))
+    def test_adder_agrees_with_python(self, a, b):
+        result = adder_model().simulate({"a": a, "b": b})
+        assert result["ok"] == (a + b < 10)
+
+
+class TestSymbolicExtraction:
+    def test_relational_constraints(self):
+        model = adder_model()
+        constraints = model.relational_constraints()
+        assert len(constraints) == 1
+        (constraint, block), = constraints.values()
+        assert str(constraint) == "a + b < 10"
+        assert block.name == "cmp"
+
+    def test_signal_of_boolean_output(self):
+        from repro.sat.tseitin import BoolExpr
+
+        model = adder_model()
+        signal = model.signal("ok")
+        assert isinstance(signal, BoolExpr)

@@ -1,0 +1,289 @@
+"""End-to-end tests for the ABsolver control loop."""
+
+import pytest
+
+from repro.core import (
+    ABProblem,
+    ABSolver,
+    ABSolverConfig,
+    ABStatus,
+    parse_constraint,
+)
+from repro.core.registry import default_registry
+
+
+def solve(problem, **config_kwargs):
+    return ABSolver(ABSolverConfig(**config_kwargs)).solve(problem)
+
+
+def fig2_problem():
+    problem = ABProblem(name="fig2")
+    problem.add_clause([1])
+    problem.add_clause([-2, 3])
+    problem.add_clause([4])
+    problem.add_clause([5])
+    problem.define(1, "int", parse_constraint("i >= 0"))
+    problem.define(5, "int", parse_constraint("j >= 0"))
+    problem.define(2, "int", parse_constraint("2*i + j < 10"))
+    problem.define(3, "int", parse_constraint("i + j < 5"))
+    problem.define(4, "real", parse_constraint("a * x + 3.5 / (4 - y) + 2 * y >= 7.1"))
+    for var in ("a", "x", "y"):
+        problem.set_bounds(var, -10, 10)
+    return problem
+
+
+class TestBooleanOnly:
+    def test_sat(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        problem.add_clause([-1, 2])
+        result = solve(problem)
+        assert result.is_sat
+        assert result.model.boolean[2] is True
+
+    def test_unsat(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([-1])
+        assert solve(problem).is_unsat
+
+    def test_empty_problem_sat(self):
+        assert solve(ABProblem()).is_sat
+
+
+class TestPaperExample:
+    def test_fig2_sat_with_valid_model(self):
+        problem = fig2_problem()
+        result = solve(problem)
+        assert result.is_sat
+        assert problem.check_model(result.model.boolean, result.model.theory)
+
+    def test_fig2_all_boolean_solver_choices(self):
+        problem = fig2_problem()
+        for boolean in default_registry.available("boolean"):
+            result = solve(problem, boolean=boolean)
+            assert result.is_sat, boolean
+
+    def test_fig2_int_vars_are_integral(self):
+        result = solve(fig2_problem())
+        assert result.model.theory["i"] == int(result.model.theory["i"])
+        assert result.model.theory["j"] == int(result.model.theory["j"])
+
+
+class TestLinearConflicts:
+    def test_unsat_via_iis(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        result = solve(problem)
+        assert result.is_unsat
+        assert result.stats.conflicts_refined >= 1
+
+    def test_conflict_forces_boolean_flip(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2])  # at least one of two incompatible ranges
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        result = solve(problem)
+        assert result.is_sat
+        boolean = result.model.boolean
+        assert boolean[1] != boolean[2]
+
+    def test_unsat_without_refinement(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        result = solve(problem, refine_conflicts=False)
+        assert result.is_unsat
+        assert result.stats.conflicts_refined == 0
+
+    def test_refinement_reduces_iterations(self):
+        """The IIS ablation: refined blocking needs <= iterations."""
+        problem = ABProblem()
+        # several independent free variables inflate the assignment space
+        for var in range(1, 7):
+            problem.add_clause([var, var + 10])
+        problem.add_clause([20])
+        problem.add_clause([21])
+        problem.define(20, "real", parse_constraint("q >= 5"))
+        problem.define(21, "real", parse_constraint("q <= 3"))
+        refined = solve(problem, refine_conflicts=True)
+        coarse = solve(problem, refine_conflicts=False)
+        assert refined.is_unsat and coarse.is_unsat
+        assert refined.stats.boolean_queries <= coarse.stats.boolean_queries
+
+
+class TestEqualitySplits:
+    def test_negated_equality_unsat(self):
+        problem = ABProblem()
+        problem.add_clause([-1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "real", parse_constraint("x = 3"))
+        problem.define(2, "real", parse_constraint("x >= 3"))
+        problem.define(3, "real", parse_constraint("x <= 3"))
+        assert solve(problem).is_unsat
+
+    def test_negated_equality_sat(self):
+        problem = ABProblem()
+        problem.add_clause([-1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "real", parse_constraint("x = 3"))
+        problem.define(2, "real", parse_constraint("x >= 2"))
+        problem.define(3, "real", parse_constraint("x <= 4"))
+        result = solve(problem)
+        assert result.is_sat
+        assert result.model.theory["x"] != pytest.approx(3.0)
+
+    def test_split_budget_enforced(self):
+        problem = ABProblem()
+        for var in range(1, 6):
+            problem.add_clause([-var])
+            problem.define(var, "real", parse_constraint(f"x{var} = {var}"))
+        config = ABSolverConfig(max_equality_splits=2)
+        with pytest.raises(RuntimeError):
+            ABSolver(config).solve(problem)
+
+
+class TestNonlinear:
+    def test_nonlinear_sat(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x * x + y * y = 25"))
+        problem.define(2, "real", parse_constraint("x - y = 1"))
+        problem.set_bounds("x", -10, 10)
+        problem.set_bounds("y", -10, 10)
+        result = solve(problem)
+        assert result.is_sat
+        theory = result.model.theory
+        assert theory["x"] ** 2 + theory["y"] ** 2 == pytest.approx(25, abs=1e-4)
+
+    def test_nonlinear_unsat_via_refuter(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x * x < 0"))
+        result = solve(problem)
+        assert result.is_unsat
+        assert result.stats.interval_refutations >= 1
+
+    def test_nonlinear_unknown_without_refuter(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.define(1, "real", parse_constraint("x * x < 0"))
+        result = solve(problem, use_interval_refuter=False)
+        assert result.status is ABStatus.UNKNOWN
+        assert "nonlinear" in result.reason
+
+    def test_mixed_linear_nonlinear(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.add_clause([3])
+        problem.define(1, "real", parse_constraint("x * y >= 6"))
+        problem.define(2, "real", parse_constraint("x + y <= 5"))
+        problem.define(3, "real", parse_constraint("x >= 0"))
+        problem.set_bounds("x", 0, 10)
+        problem.set_bounds("y", -10, 10)
+        result = solve(problem)
+        assert result.is_sat
+        assert problem.check_model(result.model.boolean, result.model.theory)
+
+    def test_division_constraint(self):
+        problem = ABProblem()
+        for var in range(1, 6):
+            problem.add_clause([var])
+        problem.define(1, "real", parse_constraint("x >= 1"))
+        problem.define(2, "real", parse_constraint("x <= 10"))
+        problem.define(3, "real", parse_constraint("y >= 1"))
+        problem.define(4, "real", parse_constraint("y <= 10"))
+        problem.define(5, "real", parse_constraint("x / y = 2"))
+        result = solve(problem)
+        assert result.is_sat
+        theory = result.model.theory
+        assert theory["x"] / theory["y"] == pytest.approx(2, abs=1e-4)
+
+
+class TestIntegerDomains:
+    def test_forced_integer_value(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "int", parse_constraint("x > 1"))
+        problem.define(2, "int", parse_constraint("x < 3"))
+        result = solve(problem)
+        assert result.is_sat
+        assert result.model.theory["x"] == 2.0
+
+    def test_integer_infeasible_window(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "int", parse_constraint("3*x >= 4"))
+        problem.define(2, "int", parse_constraint("3*x <= 5"))
+        assert solve(problem).is_unsat
+
+
+class TestAllSolutions:
+    def test_boolean_enumeration(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        models = list(ABSolver().all_solutions(problem))
+        assert len(models) == 3
+
+    def test_enumeration_with_theory_filter(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        # models where both are true are theory-infeasible -> filtered
+        models = list(ABSolver().all_solutions(problem))
+        assert len(models) == 2
+
+    def test_limit(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2, 3])
+        models = list(ABSolver().all_solutions(problem, limit=2))
+        assert len(models) == 2
+
+    def test_lsat_and_cdcl_agree(self):
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        problem.define(1, "real", parse_constraint("x >= 5"))
+        problem.define(2, "real", parse_constraint("x <= 3"))
+        lsat = list(ABSolver(ABSolverConfig(boolean="lsat")).all_solutions(problem))
+        cdcl = list(ABSolver(ABSolverConfig(boolean="cdcl")).all_solutions(problem))
+        assert len(lsat) == len(cdcl) == 2
+
+
+class TestConfig:
+    def test_unknown_solver_name_raises(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        with pytest.raises(KeyError):
+            solve(problem, boolean="zchaff-9000")
+
+    def test_dpll_backend(self):
+        problem = fig2_problem()
+        result = solve(problem, boolean="dpll")
+        assert result.is_sat
+
+    def test_difference_linear_backend(self):
+        problem = ABProblem()
+        problem.add_clause([1])
+        problem.add_clause([2])
+        problem.define(1, "real", parse_constraint("x - y <= -1"))
+        problem.define(2, "real", parse_constraint("y - x <= -1"))
+        result = solve(problem, linear="difference")
+        assert result.is_unsat
+
+    def test_stats_populated(self):
+        result = solve(fig2_problem())
+        stats = result.stats.as_dict()
+        assert stats["boolean_queries"] >= 1
+        assert stats["linear_checks"] >= 1

@@ -1,0 +1,130 @@
+"""Miscellaneous coverage: statistics container, CDCL assumption properties,
+LinearForm algebra, and Relation helpers."""
+
+import itertools
+import time
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expr import LinearForm, Relation, parse_expression
+from repro.core.stats import SolveStatistics
+from repro.sat import CNF, CDCLSolver
+
+
+class TestSolveStatistics:
+    def test_timed_accumulates(self):
+        stats = SolveStatistics()
+        with stats.timed("work"):
+            time.sleep(0.01)
+        with stats.timed("work"):
+            time.sleep(0.01)
+        assert stats.timers["work"] >= 0.02
+
+    def test_timed_survives_exceptions(self):
+        stats = SolveStatistics()
+        with pytest.raises(ValueError):
+            with stats.timed("broken"):
+                raise ValueError("boom")
+        assert "broken" in stats.timers
+
+    def test_as_dict_includes_timers(self):
+        stats = SolveStatistics()
+        stats.boolean_queries = 3
+        with stats.timed("x"):
+            pass
+        data = stats.as_dict()
+        assert data["boolean_queries"] == 3
+        assert "time_x" in data
+
+    def test_repr_is_readable(self):
+        assert "boolean_queries=0" in repr(SolveStatistics())
+
+
+@st.composite
+def cnf_and_assumptions(draw):
+    num_vars = draw(st.integers(1, 5))
+    cnf = CNF(num_vars)
+    for _ in range(draw(st.integers(1, 10))):
+        clause = [
+            draw(st.sampled_from([1, -1])) * draw(st.integers(1, num_vars))
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        cnf.add_clause(clause)
+    assumed_vars = draw(
+        st.lists(st.integers(1, num_vars), unique=True, max_size=num_vars)
+    )
+    assumptions = [var * draw(st.sampled_from([1, -1])) for var in assumed_vars]
+    return cnf, assumptions
+
+
+class TestCDCLAssumptionsProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(cnf_and_assumptions())
+    def test_matches_brute_force_under_assumptions(self, case):
+        cnf, assumptions = case
+        expected = False
+        for bits in itertools.product([False, True], repeat=cnf.num_vars):
+            assignment = {i + 1: bits[i] for i in range(cnf.num_vars)}
+            if all(assignment[abs(l)] == (l > 0) for l in assumptions) and (
+                cnf.is_satisfied_by(assignment)
+            ):
+                expected = True
+                break
+        model = CDCLSolver(cnf).solve(assumptions)
+        assert (model is not None) == expected
+        if model is not None:
+            assert cnf.is_satisfied_by(model)
+            for literal in assumptions:
+                assert model[abs(literal)] == (literal > 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cnf_and_assumptions())
+    def test_solver_reusable_after_assumption_query(self, case):
+        cnf, assumptions = case
+        solver = CDCLSolver(cnf)
+        solver.solve(assumptions)
+        unconditional = solver.solve()
+        expected = any(
+            cnf.is_satisfied_by({i + 1: bits[i] for i in range(cnf.num_vars)})
+            for bits in itertools.product([False, True], repeat=cnf.num_vars)
+        )
+        assert (unconditional is not None) == expected
+
+
+class TestLinearFormAlgebra:
+    def test_plus_and_scaled(self):
+        a = parse_expression("2*x + y").linear_form()
+        b = parse_expression("x - 3*y + 4").linear_form()
+        combined = a.plus(b.scaled(Fraction(2)))
+        assert combined.coeffs == {"x": Fraction(4), "y": Fraction(-5)}
+        assert combined.constant == Fraction(8)
+
+    def test_zero_coefficients_dropped(self):
+        form = LinearForm({"x": Fraction(0), "y": Fraction(1)}, Fraction(0))
+        assert form.coeffs == {"y": Fraction(1)}
+        assert form.variables() == {"y"}
+
+    def test_evaluate_exact(self):
+        form = parse_expression("x/3 + 1").linear_form()
+        assert form.evaluate({"x": Fraction(1)}) == Fraction(4, 3)
+
+
+class TestRelationHelpers:
+    def test_holds_all_relations(self):
+        assert Relation.LT.holds(1, 2)
+        assert not Relation.LT.holds(2, 2)
+        assert Relation.LE.holds(2, 2)
+        assert Relation.GT.holds(3, 2)
+        assert Relation.GE.holds(2, 2)
+        assert Relation.EQ.holds(2, 2)
+        assert not Relation.EQ.holds(2, 3)
+
+    def test_from_symbol_aliases(self):
+        assert Relation.from_symbol("==") is Relation.EQ
+        assert Relation.from_symbol("<=") is Relation.LE
+
+    def test_flip_is_involution_except_eq(self):
+        for relation in Relation:
+            assert relation.flipped().flipped() is relation

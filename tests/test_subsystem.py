@@ -1,0 +1,150 @@
+"""Tests for hierarchical subsystems and flattening."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ABSolver
+from repro.simulink import (
+    BlockError,
+    BlockNotConvertibleError,
+    Constant,
+    Gain,
+    Inport,
+    LogicalOperator,
+    Outport,
+    RelationalOperator,
+    SimulinkModel,
+    Subsystem,
+    Sum,
+    flatten_model,
+    model_to_problem,
+)
+
+
+def build_threshold_subsystem(threshold: float) -> SimulinkModel:
+    """Inner model: out = (a + b >= threshold)."""
+    inner = SimulinkModel("threshold")
+    inner.add(Inport("a"))
+    inner.add(Inport("b"))
+    inner.add(Sum("sum", "++"))
+    inner.add(Constant("limit", threshold))
+    inner.add(RelationalOperator("cmp", ">="))
+    inner.add(Outport("hit"))
+    inner.connect("a", "sum", 0)
+    inner.connect("b", "sum", 1)
+    inner.connect("sum", "cmp", 0)
+    inner.connect("limit", "cmp", 1)
+    inner.connect("cmp", "hit", 0)
+    return inner
+
+
+def build_outer_model() -> SimulinkModel:
+    """Two threshold subsystems over shared inputs, AND-ed together."""
+    outer = SimulinkModel("monitor")
+    outer.add(Inport("x", -10, 10))
+    outer.add(Inport("y", -10, 10))
+    outer.add(Gain("double_x", 2.0))
+    outer.connect("x", "double_x", 0)
+    outer.add(Subsystem("low", build_threshold_subsystem(1.0), input_order=["a", "b"]))
+    outer.add(Subsystem("high", build_threshold_subsystem(5.0), input_order=["a", "b"]))
+    outer.connect("double_x", "low", 0)
+    outer.connect("y", "low", 1)
+    outer.connect("x", "high", 0)
+    outer.connect("y", "high", 1)
+    outer.add(LogicalOperator("both", "AND", 2))
+    outer.connect("low", "both", 0)
+    outer.connect("high", "both", 1)
+    outer.add(Outport("alarm"))
+    outer.connect("both", "alarm", 0)
+    return outer
+
+
+class TestSubsystemBlock:
+    def test_direct_simulation(self):
+        sub = Subsystem("t", build_threshold_subsystem(3.0), input_order=["a", "b"])
+        assert sub.compute([2.0, 2.0]) is True
+        assert sub.compute([1.0, 1.0]) is False
+
+    def test_requires_single_outport(self):
+        inner = SimulinkModel("two_out")
+        inner.add(Inport("a"))
+        inner.add(Outport("o1", "double"))
+        inner.add(Outport("o2", "double"))
+        inner.connect("a", "o1", 0)
+        inner.connect("a", "o2", 0)
+        with pytest.raises(BlockError, match="exactly one"):
+            Subsystem("s", inner)
+
+    def test_input_order_validated(self):
+        with pytest.raises(BlockError, match="input_order"):
+            Subsystem("t", build_threshold_subsystem(1.0), input_order=["a", "z"])
+
+    def test_symbolic_requires_flattening(self):
+        sub = Subsystem("t", build_threshold_subsystem(1.0))
+        with pytest.raises(BlockNotConvertibleError, match="flatten"):
+            sub.symbolic([])
+
+
+class TestFlattening:
+    def test_flat_model_has_no_subsystems(self):
+        flat = flatten_model(build_outer_model())
+        assert not any(isinstance(b, Subsystem) for b in flat.blocks.values())
+        assert "low/cmp" in flat.blocks
+        assert "high/sum" in flat.blocks
+
+    def test_model_without_subsystems_unchanged(self):
+        inner = build_threshold_subsystem(1.0)
+        assert flatten_model(inner) is inner
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(-10, 10, allow_nan=False), st.floats(-10, 10, allow_nan=False))
+    def test_flattening_preserves_simulation(self, x, y):
+        outer = build_outer_model()
+        flat = flatten_model(outer)
+        env = {"x": x, "y": y}
+        assert outer.simulate(env)["alarm"] == flat.simulate(env)["alarm"]
+
+    def test_nested_subsystems(self):
+        # a subsystem wrapping a model that itself contains a subsystem
+        middle = SimulinkModel("middle")
+        middle.add(Inport("p"))
+        middle.add(Inport("q"))
+        middle.add(Subsystem("leaf", build_threshold_subsystem(0.0), input_order=["a", "b"]))
+        middle.connect("p", "leaf", 0)
+        middle.connect("q", "leaf", 1)
+        middle.add(Outport("out"))
+        middle.connect("leaf", "out", 0)
+
+        top = SimulinkModel("top")
+        top.add(Inport("u"))
+        top.add(Inport("v"))
+        top.add(Subsystem("mid", middle, input_order=["p", "q"]))
+        top.connect("u", "mid", 0)
+        top.connect("v", "mid", 1)
+        top.add(Outport("res"))
+        top.connect("mid", "res", 0)
+
+        flat = flatten_model(top)
+        assert "mid/leaf/cmp" in flat.blocks
+        for u, v in ((1.0, 2.0), (-3.0, 1.0), (0.0, 0.0)):
+            assert top.simulate({"u": u, "v": v})["res"] == flat.simulate(
+                {"u": u, "v": v}
+            )["res"]
+
+
+class TestConversionOfHierarchicalModels:
+    def test_model_to_problem_flattens_automatically(self):
+        outer = build_outer_model()
+        problem = model_to_problem(outer, goal="satisfy")
+        result = ABSolver().solve(problem)
+        assert result.is_sat
+        witness = {k: result.model.theory.get(k, 0.0) for k in ("x", "y")}
+        assert outer.simulate(witness)["alarm"] is True
+
+    def test_violation_query(self):
+        outer = build_outer_model()
+        problem = model_to_problem(outer, goal="violate")
+        result = ABSolver().solve(problem)
+        assert result.is_sat
+        witness = {k: result.model.theory.get(k, 0.0) for k in ("x", "y")}
+        assert outer.simulate(witness)["alarm"] is False

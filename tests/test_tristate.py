@@ -1,0 +1,149 @@
+"""Unit tests for the three-valued Kleene logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tristate import FF, TT, UNKNOWN, Tri, tri, tri_all, tri_any
+
+TRIS = [TT, FF, UNKNOWN]
+
+
+class TestConstruction:
+    def test_from_bool(self):
+        assert Tri.from_bool(True) is TT
+        assert Tri.from_bool(False) is FF
+        assert Tri.from_bool(None) is UNKNOWN
+
+    def test_tri_coercion(self):
+        assert tri(True) is TT
+        assert tri(False) is FF
+        assert tri(None) is UNKNOWN
+        assert tri(TT) is TT
+
+    def test_to_bool(self):
+        assert TT.to_bool() is True
+        assert FF.to_bool() is False
+        with pytest.raises(ValueError):
+            UNKNOWN.to_bool()
+
+    def test_is_known(self):
+        assert TT.is_known and FF.is_known
+        assert not UNKNOWN.is_known
+
+    def test_str(self):
+        assert str(TT) == "tt"
+        assert str(FF) == "ff"
+        assert str(UNKNOWN) == "?"
+
+
+class TestKleeneTables:
+    def test_not(self):
+        assert ~TT is FF
+        assert ~FF is TT
+        assert ~UNKNOWN is UNKNOWN
+
+    def test_and_dominance(self):
+        # FF dominates AND regardless of the other operand.
+        for other in TRIS:
+            assert (FF & other) is FF
+            assert (other & FF) is FF
+
+    def test_and_definite(self):
+        assert (TT & TT) is TT
+        assert (TT & UNKNOWN) is UNKNOWN
+
+    def test_or_dominance(self):
+        for other in TRIS:
+            assert (TT | other) is TT
+            assert (other | TT) is TT
+
+    def test_or_definite(self):
+        assert (FF | FF) is FF
+        assert (FF | UNKNOWN) is UNKNOWN
+
+    def test_xor(self):
+        assert (TT ^ FF) is TT
+        assert (TT ^ TT) is FF
+        assert (UNKNOWN ^ TT) is UNKNOWN
+        assert (FF ^ UNKNOWN) is UNKNOWN
+
+    def test_implies(self):
+        assert FF.implies(UNKNOWN) is TT  # ff -> anything
+        assert UNKNOWN.implies(TT) is TT
+        assert TT.implies(FF) is FF
+        assert TT.implies(UNKNOWN) is UNKNOWN
+
+    def test_iff(self):
+        assert TT.iff(TT) is TT
+        assert TT.iff(FF) is FF
+        assert UNKNOWN.iff(TT) is UNKNOWN
+
+
+class TestBooleanEmbedding:
+    """Kleene logic restricted to {tt, ff} must agree with Python bools."""
+
+    @given(st.booleans(), st.booleans())
+    def test_and_or_xor_agree(self, a, b):
+        assert (tri(a) & tri(b)) is tri(a and b)
+        assert (tri(a) | tri(b)) is tri(a or b)
+        assert (tri(a) ^ tri(b)) is tri(a != b)
+
+    @given(st.booleans())
+    def test_not_agrees(self, a):
+        assert ~tri(a) is tri(not a)
+
+
+class TestMonotonicity:
+    """Refining ? to a definite value never flips an already-definite output."""
+
+    @given(
+        st.sampled_from(TRIS),
+        st.sampled_from(TRIS),
+        st.sampled_from([True, False]),
+        st.sampled_from([True, False]),
+    )
+    def test_and_monotone(self, a, b, ra, rb):
+        refined_a = tri(ra) if a is UNKNOWN else a
+        refined_b = tri(rb) if b is UNKNOWN else b
+        before = a & b
+        after = refined_a & refined_b
+        if before.is_known:
+            assert after is before
+
+    @given(
+        st.sampled_from(TRIS),
+        st.sampled_from(TRIS),
+        st.sampled_from([True, False]),
+        st.sampled_from([True, False]),
+    )
+    def test_or_monotone(self, a, b, ra, rb):
+        refined_a = tri(ra) if a is UNKNOWN else a
+        refined_b = tri(rb) if b is UNKNOWN else b
+        before = a | b
+        after = refined_a | refined_b
+        if before.is_known:
+            assert after is before
+
+
+class TestAggregates:
+    def test_tri_all_empty(self):
+        assert tri_all([]) is TT
+
+    def test_tri_any_empty(self):
+        assert tri_any([]) is FF
+
+    def test_tri_all_short_circuit(self):
+        assert tri_all([TT, FF, UNKNOWN]) is FF
+
+    def test_tri_all_unknown(self):
+        assert tri_all([TT, UNKNOWN]) is UNKNOWN
+
+    def test_tri_any_short_circuit(self):
+        assert tri_any([FF, TT, UNKNOWN]) is TT
+
+    def test_tri_any_unknown(self):
+        assert tri_any([FF, UNKNOWN]) is UNKNOWN
+
+    def test_mixed_bool_inputs(self):
+        assert tri_all([True, True]) is TT
+        assert tri_any([False, None]) is UNKNOWN
