@@ -1,0 +1,177 @@
+"""Incremental solve sessions vs one-shot solving on BMC unroll sweeps.
+
+The paper's application domain is bounded analysis of hybrid models: one
+model yields a *family* of closely related AB-queries, one per unroll
+depth.  This bench runs the two unroll families
+(:func:`repro.benchgen.fischer_unroll_family` — process unrolling of the
+mutual-exclusion protocol, and
+:func:`repro.benchgen.watertank_unroll_family` — time unrolling of the
+tank controller) twice each:
+
+* **one-shot**: a fresh :class:`~repro.core.solver.ABSolver` per depth, the
+  classic mode — every depth re-translates every atom and relearns every
+  theory lemma from scratch;
+* **session**: one :class:`~repro.core.session.SolverSession`, each depth
+  asserting only its delta — learned clauses, theory lemmas, and the
+  translation cache persist across checks.
+
+The end-of-session report table shows the sweep times, the speedup, and
+the session's reuse counters (``clauses_reused``, ``translation_cache_hits``);
+the report *asserts* that the session sweep is strictly faster and that
+both reuse counters are nonzero.  Both families are pure difference logic,
+so the sweeps run with ``linear="difference"`` (Bellman-Ford negative-cycle
+conflict cores).
+
+Environment knobs:
+
+* ``REPRO_UNROLL_MAX_DEPTH`` (default 8) — deepest unroll depth.
+"""
+
+import os
+import time
+
+from repro import ABSolver, ABSolverConfig, SolverSession
+from repro.benchgen import fischer_unroll_family, watertank_unroll_family
+
+from conftest import register_report, report_rows
+
+
+def unroll_max_depth() -> int:
+    return int(os.environ.get("REPRO_UNROLL_MAX_DEPTH", "8"))
+
+
+def _config() -> ABSolverConfig:
+    # Both unroll families are QF_RDL: every atom is a bound or a
+    # two-variable difference, so the difference-logic adapter applies.
+    return ABSolverConfig(linear="difference")
+
+
+_FAMILIES = {
+    "fischer": fischer_unroll_family,
+    "watertank": watertank_unroll_family,
+}
+
+#: family -> mode ("one-shot" / "session") -> measurement dict.
+_MEASURED = {}
+
+
+def _oneshot_sweep(family):
+    """Solve depths 1..max with a fresh solver per depth."""
+    verdicts = []
+    stats = None
+    started = time.perf_counter()
+    for depth in range(1, family.max_depth + 1):
+        solver = ABSolver(_config())
+        result = solver.solve(
+            family.problem_at_depth(depth),
+            assumptions=family.check_assumptions(depth),
+        )
+        expected = family.expected_status(depth)
+        assert expected is None or result.status.value == expected, (
+            f"{family.name} depth {depth}: one-shot said {result.status.value}, "
+            f"expected {expected}"
+        )
+        verdicts.append(result.status.value)
+        stats = solver.stats if stats is None else stats.merge(solver.stats)
+    return {
+        "seconds": time.perf_counter() - started,
+        "verdicts": verdicts,
+        "stats": stats,
+    }
+
+
+def _session_sweep(family, reference_verdicts=None):
+    """Solve depths 1..max through one session, asserting only the deltas."""
+    session = SolverSession(_config())
+    verdicts = []
+    started = time.perf_counter()
+    family.layers[0].apply_to_session(session)
+    for depth in range(1, family.max_depth + 1):
+        family.layers[depth].apply_to_session(session)
+        result = session.check(family.check_assumptions(depth))
+        expected = family.expected_status(depth)
+        assert expected is None or result.status.value == expected, (
+            f"{family.name} depth {depth}: session said {result.status.value}, "
+            f"expected {expected}"
+        )
+        if reference_verdicts is not None:
+            assert result.status.value == reference_verdicts[depth - 1], (
+                f"{family.name} depth {depth}: session and one-shot disagree"
+            )
+        verdicts.append(result.status.value)
+    return {
+        "seconds": time.perf_counter() - started,
+        "verdicts": verdicts,
+        "stats": session.stats,
+    }
+
+
+def _run_family(name, benchmark):
+    family = _FAMILIES[name](unroll_max_depth())
+    measured = _MEASURED.setdefault(name, {})
+
+    def run():
+        measured["one-shot"] = _oneshot_sweep(family)
+        measured["session"] = _session_sweep(
+            family, reference_verdicts=measured["one-shot"]["verdicts"]
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def bench_incremental_fischer(benchmark):
+    """FISCHER process-unroll sweep: one-shot vs one session."""
+    _run_family("fischer", benchmark)
+
+
+def bench_incremental_watertank(benchmark):
+    """Water-tank time-unroll sweep: one-shot vs one session."""
+    _run_family("watertank", benchmark)
+
+
+def _report():
+    if not _MEASURED:
+        return
+    header = [
+        "family",
+        "depths",
+        "one-shot s",
+        "session s",
+        "speedup",
+        "clauses_reused",
+        "cache_hits",
+        "boolean one-shot",
+        "boolean session",
+    ]
+    rows = []
+    failures = []
+    for name, measured in sorted(_MEASURED.items()):
+        if "one-shot" not in measured or "session" not in measured:
+            continue
+        oneshot, session = measured["one-shot"], measured["session"]
+        stats = session["stats"]
+        speedup = oneshot["seconds"] / max(session["seconds"], 1e-9)
+        rows.append(
+            [
+                name,
+                f"1..{unroll_max_depth()}",
+                f"{oneshot['seconds']:.3f}",
+                f"{session['seconds']:.3f}",
+                f"{speedup:.2f}x",
+                stats.clauses_reused,
+                stats.translation_cache_hits,
+                oneshot["stats"].boolean_queries,
+                stats.boolean_queries,
+            ]
+        )
+        if session["seconds"] >= oneshot["seconds"]:
+            failures.append(f"{name}: session sweep not faster than one-shot")
+        if stats.clauses_reused <= 0:
+            failures.append(f"{name}: no clause reuse across checks")
+        if stats.translation_cache_hits <= 0:
+            failures.append(f"{name}: translation cache never hit")
+    report_rows("Incremental sessions — unroll sweeps (one-shot vs session)", header, rows)
+    assert not failures, "; ".join(failures)
+
+
+register_report(_report)

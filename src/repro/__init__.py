@@ -38,6 +38,7 @@ from .core.expr import (
 )
 from .core.problem import ABProblem, Definition, ProblemStats
 from .core.solver import ABModel, ABResult, ABSolver, ABSolverConfig, ABStatus
+from .core.session import SolverSession
 from .core.circuit import Circuit
 from .core.registry import SolverRegistry, default_registry
 from .core.tristate import Tri, TT, FF, UNKNOWN
@@ -60,6 +61,7 @@ __all__ = [
     "ABSolver",
     "ABSolverConfig",
     "ABStatus",
+    "SolverSession",
     "Circuit",
     "SolverRegistry",
     "default_registry",

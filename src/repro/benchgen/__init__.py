@@ -1,11 +1,13 @@
 """Benchmark and workload generators for the paper's evaluation (Sec. 5)."""
 
 from .steering import steering_problem, SENSOR_RANGES, NOMINAL_POINT, TARGET_CLAUSES
+from .bmc import UnrollFamily, UnrollLayer
 from .fischer import (
     fischer_problem,
     fischer_benchmark,
     fischer_smtlib_text,
     fischer_unsat_problem,
+    fischer_unroll_family,
     makespan_bound,
 )
 from .sudoku import (
@@ -23,6 +25,7 @@ from .watertank import (
     watertank_model,
     watertank_problem,
     watertank_safety_problem,
+    watertank_unroll_family,
     TANK_RIM,
     ALARM_LEVEL,
 )
@@ -34,6 +37,10 @@ from .nonlinear_micro import (
 )
 
 __all__ = [
+    "UnrollFamily",
+    "UnrollLayer",
+    "fischer_unroll_family",
+    "watertank_unroll_family",
     "build_fig1_model",
     "FIG1_INPUT_RANGES",
     "planted_problem",

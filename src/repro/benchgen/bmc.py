@@ -1,0 +1,106 @@
+"""BMC-style unroll infrastructure for incremental solving (sessions).
+
+The paper's application domain (Sec. 5) is bounded analysis of hybrid
+models: one model yields a *family* of closely related AB-queries, one per
+unroll depth.  This module provides the scaffolding the benchgen drivers
+(:func:`repro.benchgen.fischer.fischer_unroll_family`,
+:func:`repro.benchgen.watertank.watertank_unroll_family`) build on —
+*monotone layer stacks* designed for
+:class:`repro.core.session.SolverSession`:
+
+* layer ``k`` only *adds* clauses, definitions, and bounds on top of layers
+  ``0..k-1`` (variable numbering is globally stable), so a session can
+  assert layers one by one without ever popping — every theory lemma
+  learned at depth ``k`` remains sound, and is reused, at depth ``k+1``;
+* the per-depth property is asserted through a **waiver literal**: depth
+  ``k``'s goal clause is ``(goal_k or w_k)`` and the depth-``k`` check runs
+  under the assumption ``-w_k``.  Deeper layers simply leave ``w_k`` free,
+  which disarms the old goal without retracting anything.
+
+The same layers also build the classic one-shot problems
+(:meth:`UnrollFamily.problem_at_depth`), which is what the incremental
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.expr import Constraint
+from ..core.problem import ABProblem
+
+__all__ = ["UnrollLayer", "UnrollFamily", "VarAllocator"]
+
+
+class UnrollLayer:
+    """One unroll step: the delta asserted when deepening to ``depth``."""
+
+    __slots__ = ("depth", "clauses", "definitions", "bounds", "check_assumptions", "expected")
+
+    def __init__(self, depth: int, expected: Optional[str] = None):
+        self.depth = depth
+        self.clauses: List[List[int]] = []
+        self.definitions: List[Tuple[int, str, Constraint]] = []
+        self.bounds: List[Tuple[str, Optional[float], Optional[float]]] = []
+        #: Literals to assume when checking *at* this depth (waiver guards).
+        self.check_assumptions: List[int] = []
+        #: Hand-computed verdict ("sat" / "unsat"), when known.
+        self.expected = expected
+
+    def apply_to_session(self, session) -> None:
+        """Assert this layer's delta into a :class:`SolverSession`."""
+        for var, domain, constraint in self.definitions:
+            session.define(var, domain, constraint)
+        for clause in self.clauses:
+            session.assert_clause(clause)
+        for variable, low, high in self.bounds:
+            session.set_bounds(variable, low, high)
+
+    def apply_to_problem(self, problem: ABProblem) -> None:
+        for var, domain, constraint in self.definitions:
+            problem.define(var, domain, constraint)
+        for clause in self.clauses:
+            problem.add_clause(clause)
+        for variable, low, high in self.bounds:
+            problem.set_bounds(variable, low, high)
+
+
+class UnrollFamily:
+    """A monotone stack of unroll layers over one base model.
+
+    ``layers[0]`` is the base (asserted before any depth); ``layers[k]`` is
+    the depth-``k`` delta.  Depths run ``1..max_depth``.
+    """
+
+    def __init__(self, name: str, layers: Sequence[UnrollLayer]):
+        self.name = name
+        self.layers = list(layers)
+
+    @property
+    def max_depth(self) -> int:
+        return len(self.layers) - 1
+
+    def problem_at_depth(self, depth: int) -> ABProblem:
+        """The classic one-shot AB-problem of layers ``0..depth``."""
+        problem = ABProblem(name=f"{self.name}-k{depth}")
+        for layer in self.layers[: depth + 1]:
+            layer.apply_to_problem(problem)
+        return problem
+
+    def check_assumptions(self, depth: int) -> List[int]:
+        """Assumptions activating the depth-``depth`` property check."""
+        return list(self.layers[depth].check_assumptions)
+
+    def expected_status(self, depth: int) -> Optional[str]:
+        return self.layers[depth].expected
+
+
+class VarAllocator:
+    """Deterministic Boolean-variable numbering shared by all layers."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self) -> int:
+        self._next += 1
+        return self._next

@@ -33,14 +33,17 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..core.expr import parse_constraint
 from ..core.problem import ABProblem
 from ..io.smtlib import SmtLibBenchmark, parse_smtlib
+from .bmc import UnrollFamily, UnrollLayer, VarAllocator
 
 __all__ = [
     "fischer_smtlib_text",
     "fischer_benchmark",
     "fischer_problem",
     "fischer_unsat_problem",
+    "fischer_unroll_family",
     "makespan_bound",
 ]
 
@@ -150,3 +153,80 @@ def fischer_unsat_problem(n: int) -> ABProblem:
     benchmark = parse_smtlib(fischer_smtlib_text(n, bound=n))
     benchmark.problem.name = f"FISCHER{n}-1-fair-unsat"
     return benchmark.problem
+
+
+def fischer_unroll_family(max_n: int, bound: Optional[float] = None) -> UnrollFamily:
+    """Fischer's mutual exclusion as a process-unroll family (all-SAT).
+
+    Depth ``n`` adds process ``n``: its event times ``t_n``/``c_n``, the
+    fast/slow delay choice ``p_n``, and the pairwise critical-section
+    ordering atoms against every earlier process — the same atoms as
+    :func:`fischer_smtlib_text`, with the ordering fixed to the canonical
+    one (process ``i`` before ``j`` for ``i < j``), the standard symmetry
+    reduction for identical processes.  The makespan deadline is *fixed* at
+    ``max_n + 1.5`` for every depth so the stack stays monotone: shallow
+    depths are loose, but each deeper layer shrinks the slack, and at depth
+    ``n`` at most ``max_n + 1 - n`` processes may take the slow branch.
+    The solver discovers that budget by refuting slow/fast combinations
+    through theory conflicts whose lemmas ("these processes cannot all be
+    slow") mention only permanent atoms — a session carries them from depth
+    ``n`` to ``n + 1`` and prunes the deeper search by unit propagation,
+    while a one-shot sweep relearns them from scratch at every depth.  Each
+    depth is satisfiable.
+
+    Depth ``n``'s fairness condition ("some process is slow") is waived at
+    deeper levels: the clause is ``(-p_1 .. -p_n  w_n)``, checked under the
+    assumption ``-w_n``.
+    """
+    if max_n < 1:
+        raise ValueError("need at least one process")
+    if bound is None:
+        bound = max_n + 1.5
+    alloc = VarAllocator()
+    layers = [UnrollLayer(0)]
+    p_vars: List[int] = []
+
+    def define(layer: UnrollLayer, text: str) -> int:
+        var = alloc.fresh()
+        layer.definitions.append((var, "real", parse_constraint(text)))
+        return var
+
+    for n in range(1, max_n + 1):
+        layer = UnrollLayer(n, expected="sat")
+        p_n = alloc.fresh()  # True = fast (delay 1), False = slow (delay 2)
+        p_vars.append(p_n)
+        nonneg = define(layer, f"t_{n} >= 0")
+        deadline = define(layer, f"c_{n} <= {bound}")
+        ge1 = define(layer, f"c_{n} - t_{n} >= 1")
+        le1 = define(layer, f"c_{n} - t_{n} <= 1")
+        ge2 = define(layer, f"c_{n} - t_{n} >= 2")
+        le2 = define(layer, f"c_{n} - t_{n} <= 2")
+        layer.clauses.append([nonneg])
+        layer.clauses.append([deadline])
+        # Delay choice: fast <=> duration 1, slow <=> duration 2.
+        layer.clauses.append([-p_n, ge1])
+        layer.clauses.append([-p_n, le1])
+        layer.clauses.append([p_n, ge2])
+        layer.clauses.append([p_n, le2])
+        # Static delay-atom lemmas (the SMT-LIB encoding carries the same).
+        layer.clauses.append([-ge2, ge1])
+        layer.clauses.append([-le1, le2])
+        layer.clauses.append([ge1, le1])
+        layer.clauses.append([le2, ge2])
+        layer.clauses.append([-le1, -ge2])
+        # Pairwise mutual exclusion against every earlier process, fixed to
+        # the canonical ordering (the processes are identical up to the
+        # delay choice, so this is a pure symmetry reduction): earlier
+        # process i's section precedes n's.
+        for i in range(1, n):
+            before = define(layer, f"c_{i} <= t_{n}")
+            after = define(layer, f"c_{n} <= t_{i}")
+            layer.clauses.append([before, after])
+            layer.clauses.append([-before, -after])
+            layer.clauses.append([before])
+        # Fairness at this depth, waived at deeper ones.
+        w_n = alloc.fresh()
+        layer.clauses.append([-p for p in p_vars] + [w_n])
+        layer.check_assumptions.append(-w_n)
+        layers.append(layer)
+    return UnrollFamily(f"fischer-unroll-{max_n}", layers)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from ..core.expr import parse_constraint
 from ..core.problem import ABProblem
+from .bmc import UnrollFamily, UnrollLayer, VarAllocator
 from ..simulink import (
     Constant,
     Gain,
@@ -41,6 +42,7 @@ __all__ = [
     "watertank_model",
     "watertank_problem",
     "watertank_safety_problem",
+    "watertank_unroll_family",
     "TANK_RIM",
     "ALARM_LEVEL",
 ]
@@ -129,3 +131,82 @@ def watertank_safety_problem() -> ABProblem:
     problem.add_clause([unsafe_var])
     problem.name = "watertank-safety"
     return problem
+
+
+# ----------------------------------------------------------------------
+# Discrete-time unroll family (incremental sessions)
+# ----------------------------------------------------------------------
+#: Step dynamics of the unrolled controller (exact dyadic constants, so
+#: every reachable level is a float-exact value and verdicts are robust).
+_TANK_START = 1.0
+_TANK_FILL = 0.5  # pump ON:  level_{t+1} = level_t + 0.5
+_TANK_DRAIN = 0.75  # pump OFF: level_{t+1} = level_t - 0.75
+_TANK_LOW = 0.5  # level <= LOW forces the pump on
+_TANK_HIGH = 1.75  # level >= HIGH forces the pump off
+_TANK_ALARM = 2.0  # the property: can the level reach the alarm mark?
+_TANK_CAP = 2.5  # physical box bound on the level
+
+
+def _watertank_unroll_status(depth: int) -> str:
+    """Hand-computed reachability verdict for the alarm at step ``depth``.
+
+    From level 1.0 the controller's reachable-level set is periodic with
+    period 5 and touches the 2.0 alarm mark exactly at steps 2, 7, 12, ...
+    """
+    return "sat" if depth % 5 == 2 else "unsat"
+
+
+def watertank_unroll_family(max_k: int) -> UnrollFamily:
+    """A discrete-time water-tank controller as a time-unroll family.
+
+    The tank starts at level 1.0; each step the pump is ON (+0.5) or OFF
+    (-0.75).  A threshold controller forces the pump on below 0.5 and off
+    at 1.75 or above.  Depth ``k`` asks: *can the level reach the alarm
+    mark (2.0) at step k?* — a pure Boolean-plus-linear BMC query whose
+    verdict alternates with depth (SAT exactly at k = 2 mod 5), exercising
+    both the SAT and UNSAT paths of a session sweep.
+    """
+    if max_k < 1:
+        raise ValueError("need at least one step")
+    alloc = VarAllocator()
+    base = UnrollLayer(0)
+    layers = [base]
+
+    def define(layer: UnrollLayer, text: str) -> int:
+        var = alloc.fresh()
+        layer.definitions.append((var, "real", parse_constraint(text)))
+        return var
+
+    # Base: pin the initial level with a pair of one-sided atoms.
+    start_le = define(base, f"level_0 <= {_TANK_START}")
+    start_ge = define(base, f"level_0 >= {_TANK_START}")
+    base.clauses.append([start_le])
+    base.clauses.append([start_ge])
+    base.bounds.append(("level_0", 0.0, _TANK_CAP))
+
+    for k in range(1, max_k + 1):
+        t = k - 1  # the step taken between level_{k-1} and level_k
+        layer = UnrollLayer(k, expected=_watertank_unroll_status(k))
+        on_t = alloc.fresh()  # pump state during step t
+        # Step dynamics: two one-sided atoms per mode pin the increment.
+        fill_le = define(layer, f"level_{k} - level_{t} <= {_TANK_FILL}")
+        fill_ge = define(layer, f"level_{k} - level_{t} >= {_TANK_FILL}")
+        drain_le = define(layer, f"level_{k} - level_{t} <= {-_TANK_DRAIN}")
+        drain_ge = define(layer, f"level_{k} - level_{t} >= {-_TANK_DRAIN}")
+        layer.clauses.append([-on_t, fill_le])
+        layer.clauses.append([-on_t, fill_ge])
+        layer.clauses.append([on_t, drain_le])
+        layer.clauses.append([on_t, drain_ge])
+        # Threshold controller on the step's starting level.
+        low_t = define(layer, f"level_{t} <= {_TANK_LOW}")
+        high_t = define(layer, f"level_{t} >= {_TANK_HIGH}")
+        layer.clauses.append([-low_t, on_t])
+        layer.clauses.append([-high_t, -on_t])
+        layer.bounds.append((f"level_{k}", 0.0, _TANK_CAP))
+        # The depth-k property, armed through its waiver literal.
+        alarm_k = define(layer, f"level_{k} >= {_TANK_ALARM}")
+        w_k = alloc.fresh()
+        layer.clauses.append([alarm_k, w_k])
+        layer.check_assumptions.append(-w_k)
+        layers.append(layer)
+    return UnrollFamily(f"watertank-unroll-{max_k}", layers)

@@ -12,11 +12,21 @@ Examples::
     absolver --boolean lsat --linear simplex --all-models problem.cnf
     absolver --smtlib FISCHER4-1-fair.smt
     absolver --linear difference --stats problem.cnf
+    absolver --check-incremental base.cnf step1.cnf step2.cnf
+    absolver --stats-json - problem.cnf
+
+With ``--check-incremental`` the inputs form one *incremental session*:
+each file is a delta (sharing the variable numbering of its predecessors)
+asserted into a fresh stack frame of a
+:class:`~repro.core.session.SolverSession` and checked, so learned clauses,
+theory lemmas, and translation caches carry over from one check to the
+next.  The exit code reflects the last check.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -36,7 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "input",
-        help="problem file (extended DIMACS; SMT-LIB with --smtlib; model file with --model)",
+        nargs="+",
+        help="problem file(s) (extended DIMACS; SMT-LIB with --smtlib; model "
+        "file with --model); several files require --check-incremental",
+    )
+    parser.add_argument(
+        "--check-incremental",
+        action="store_true",
+        help="treat the inputs as one incremental session: assert each file "
+        "as a delta in its own frame and check after each",
     )
     parser.add_argument("--smtlib", action="store_true", help="parse input as SMT-LIB v1.2")
     parser.add_argument(
@@ -84,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable IIS conflict refinement (block full assignments)",
     )
     parser.add_argument("--stats", action="store_true", help="print solver statistics")
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write the solver statistics as JSON to PATH ('-' for stdout)",
+    )
     parser.add_argument("--quiet", action="store_true", help="print only the verdict")
     parser.add_argument(
         "--verbose", action="store_true", help="trace every control-loop step"
@@ -103,23 +127,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_problem(args, path: str):
+    """Parse one input file according to the format flags."""
+    if args.smtlib:
+        with open(path, "r", encoding="utf-8") as handle:
+            return parse_smtlib(handle.read()).problem
+    if args.model:
+        from .io.mdl import parse_model_file
+        from .simulink import model_to_problem
+
+        model = parse_model_file(path)
+        return model_to_problem(model, output=args.output_port, goal=args.goal)
+    return parse_dimacs_file(path)
+
+
+def _emit_stats_json(args, stats) -> None:
+    """Honour ``--stats-json PATH`` ('-' writes to stdout)."""
+    if args.stats_json is None:
+        return
+    payload = json.dumps(stats.as_dict(), indent=2, sort_keys=True)
+    if args.stats_json == "-":
+        print(payload)
+    else:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.smtlib and args.model:
         print("error: --smtlib and --model are mutually exclusive", file=sys.stderr)
         return 2
-    if args.smtlib:
-        with open(args.input, "r", encoding="utf-8") as handle:
-            problem = parse_smtlib(handle.read()).problem
-    elif args.model:
-        from .io.mdl import parse_model_file
-        from .simulink import model_to_problem
-
-        model = parse_model_file(args.input)
-        problem = model_to_problem(model, output=args.output_port, goal=args.goal)
-    else:
-        problem = parse_dimacs_file(args.input)
+    if len(args.input) > 1 and not args.check_incremental:
+        print(
+            "error: several input files require --check-incremental",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check_incremental and args.model:
+        print(
+            "error: --check-incremental expects constraint files, not --model",
+            file=sys.stderr,
+        )
+        return 2
 
     nonlinear = [name.strip() for name in args.nonlinear.split(",") if name.strip()]
     for name in nonlinear:
@@ -140,6 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         refine_conflicts=not args.no_refine,
         trace=trace,
     )
+
+    if args.check_incremental:
+        return _run_incremental(args, config)
+
+    problem = _load_problem(args, args.input[0])
     solver = ABSolver(config)
 
     if args.minimize is not None or args.maximize is not None:
@@ -156,6 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{count} model(s) in {elapsed:.3f}s")
         if args.stats:
             print(f"stats: {solver.stats.as_dict()}")
+        _emit_stats_json(args, solver.stats)
         return 0 if count else 20
 
     result = solver.solve(problem)
@@ -169,12 +226,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reason: {result.reason}")
     if args.stats:
         print(f"stats: {result.stats.as_dict()}")
+    _emit_stats_json(args, result.stats)
     # Exit codes follow SAT-solver convention: 10 SAT, 20 UNSAT, 0 unknown.
     if result.is_sat:
         return 10
     if result.is_unsat:
         return 20
     return 0
+
+
+def _run_incremental(args, config) -> int:
+    """``--check-incremental``: one session, one frame + check per file."""
+    from .core.session import SolverSession
+
+    session = SolverSession(config)
+    problems = [_load_problem(args, path) for path in args.input]
+    # Frame activation variables are allocated above the highest variable
+    # seen so far; reserve the whole numbering range before the first check
+    # so later delta files cannot collide with them.
+    session.reserve_variables(max(problem.cnf.num_vars for problem in problems))
+    exit_code = 0
+    for index, (path, problem) in enumerate(zip(args.input, problems)):
+        if index:
+            session.push()
+        try:
+            session.assert_problem(problem)
+        except ValueError as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        result = session.check()
+        elapsed = time.perf_counter() - started
+        reused = session.last_stats.clauses_reused if session.last_stats else 0
+        print(
+            f"{path}: {result.status.value} "
+            f"({elapsed:.3f}s, depth {session.depth}, {reused} lemma(s) reused)"
+        )
+        if result.is_sat and not args.quiet:
+            assert result.model is not None
+            print(f"  boolean: {result.model.boolean}")
+            print(f"  theory:  {result.model.theory}")
+        if result.status is ABStatus.UNKNOWN and result.reason:
+            print(f"  reason: {result.reason}")
+        exit_code = 10 if result.is_sat else 20 if result.is_unsat else 0
+    if args.stats:
+        print(f"stats: {session.stats.as_dict()}")
+    _emit_stats_json(args, session.stats)
+    return exit_code
 
 
 def _run_optimization(args, problem) -> int:

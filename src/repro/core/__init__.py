@@ -7,9 +7,11 @@ solver interface layer, and the multi-domain control loop.
 from .tristate import Tri, TT, FF, UNKNOWN, tri, tri_all, tri_any
 from .problem import ABProblem, Definition, ProblemStats
 from .solver import ABModel, ABResult, ABSolver, ABSolverConfig, ABStatus
+from .session import SolverSession
+from .pipeline import SolvePipeline
 from .circuit import Circuit
 from .registry import SolverRegistry, default_registry
-from .interface import UnsupportedTheoryError, Refinement
+from .interface import UnsupportedTheoryError, Refinement, SolverStage
 from .optimize import ABOptimizer, OptimizationResult, OptimizationStatus
 from .stats import SolveStatistics
 from .expr import (
@@ -42,6 +44,9 @@ __all__ = [
     "ABSolver",
     "ABSolverConfig",
     "ABStatus",
+    "SolverSession",
+    "SolvePipeline",
+    "SolverStage",
     "Circuit",
     "SolverRegistry",
     "default_registry",

@@ -32,6 +32,7 @@ from .expr import Constraint
 
 __all__ = [
     "Refinement",
+    "SolverStage",
     "BooleanSolverInterface",
     "LinearSolverInterface",
     "NonlinearSolverInterface",
@@ -81,6 +82,30 @@ class Refinement:
 # ----------------------------------------------------------------------
 # Abstract interfaces
 # ----------------------------------------------------------------------
+class SolverStage(abc.ABC):
+    """One stage of the staged solve pipeline (:mod:`repro.core.pipeline`).
+
+    The control loop is decomposed into small stage objects — candidate
+    generation, theory translation, linear check, nonlinear check, conflict
+    refinement — each owning its substrate solver(s) and any memoized state.
+    The protocol is deliberately thin: a stage advertises a ``name`` (used
+    for per-stage timers in :class:`~repro.core.stats.SolveStatistics`) and
+    must be able to ``reset`` — dropping every piece of state that depends
+    on the *structure* of the problem (definitions, bounds), which sessions
+    call when a ``pop`` retracts assertions a cache may have baked in.
+    Cross-query state that stays valid (e.g. a persistent CDCL clause
+    database) survives ``reset`` only where the concrete stage documents it.
+    """
+
+    #: Stage label; also the timer key under which the pipeline accounts
+    #: the stage's wall clock.
+    name = "stage"
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Invalidate problem-structure-dependent state."""
+
+
 class BooleanSolverInterface(abc.ABC):
     """Boolean-domain solver contract: single models and (optionally) all."""
 
@@ -326,11 +351,21 @@ class SimplexLinearAdapter(LinearSolverInterface):
         refine_minimal: bool = True,
         max_bb_nodes: int = 100_000,
         use_presolve: bool = False,
+        warm_start: bool = False,
     ):
         self.refine_minimal = refine_minimal
         self.use_presolve = use_presolve
-        self._simplex = SimplexSolver()
+        self._simplex = SimplexSolver(warm_start=warm_start)
         self._branch_bound = BranchAndBoundSolver(max_nodes=max_bb_nodes, simplex=self._simplex)
+
+    @property
+    def warm_start_hits(self) -> int:
+        """Simplex checks answered from the warm-start point cache."""
+        return self._simplex.warm_hits
+
+    def invalidate_caches(self) -> None:
+        """Drop warm-start state (called when the asserted structure changes)."""
+        self._simplex.clear_warm_cache()
 
     def check(self, system: LinearSystem) -> LPResult:
         merged_point: Dict[str, object] = {}

@@ -1,0 +1,763 @@
+"""The staged ABsolver pipeline: the control loop as composable stages.
+
+Historically :meth:`repro.core.solver.ABSolver.solve` was one ~550-line
+monolith.  Its five conceptual steps (paper, Sec. 1 and Sec. 4) are now
+explicit stage objects behind :class:`repro.core.interface.SolverStage`:
+
+* :class:`CandidateGenerationStage` — query the Boolean solver for the next
+  candidate assignment and feed blocking clauses back to it;
+* :class:`TheoryTranslationStage` — turn a Boolean assignment into theory
+  constraint branches, with memoized definition-literal -> linear-row and
+  branch -> :class:`~repro.linear.lp.LinearSystem` caches;
+* :class:`LinearCheckStage` — decide the linear constituent (tracking
+  warm-start reuse when the configured LP adapter supports it);
+* :class:`NonlinearCheckStage` — route surviving candidates through the
+  configured nonlinear solver list;
+* :class:`ConflictRefinementStage` — explain failures (IIS refinement,
+  interval refutation) as blocking clauses.
+
+:class:`SolvePipeline` wires the stages into the classic lazy-SMT loop.  It
+is deliberately *query-scoped but state-persistent*: running a second query
+against the same pipeline reuses the Boolean solver's clause database and
+activities plus every translation cache, which is exactly what
+:class:`repro.core.session.SolverSession` builds its ``push``/``pop``
+incremental interface on.  The one-shot :class:`~repro.core.solver.ABSolver`
+uses a single-use pipeline and therefore behaves as before.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..linear.lp import LinearConstraint, LinearSystem
+from ..linear.simplex import LPResult, LPStatus
+from ..nonlinear.auglag import NLPStatus
+from ..nonlinear.refute import IntervalRefuter, RefuteStatus
+from ..sat.cnf import CNF, Assignment
+from .circuit import Circuit
+from .expr import Constraint, Relation
+from .interface import (
+    BooleanSolverInterface,
+    LinearSolverInterface,
+    NonlinearSolverInterface,
+    Refinement,
+    SolverStage,
+)
+from .problem import ABProblem
+from .registry import (
+    DOMAIN_BOOLEAN,
+    DOMAIN_LINEAR,
+    DOMAIN_NONLINEAR,
+    SolverRegistry,
+    default_registry,
+)
+from .stats import SolveStatistics
+from .tristate import TT
+
+__all__ = [
+    "BranchItem",
+    "TranslationPlan",
+    "TheoryVerdict",
+    "CandidateGenerationStage",
+    "TheoryTranslationStage",
+    "LinearCheckStage",
+    "NonlinearCheckStage",
+    "ConflictRefinementStage",
+    "SolvePipeline",
+    "complete_theory_model",
+    "full_blocking_clause",
+]
+
+#: A lemma callback: receives the blocking clause and whether the conflict
+#: was definite, and returns the clause that should actually reach the
+#: Boolean solver (sessions guard it with an activation literal).
+LemmaHook = Callable[[List[int], bool], List[int]]
+
+#: A trace callback mirroring ``ABSolverConfig.trace``.
+TraceHook = Callable[[str, dict], None]
+
+
+class BranchItem:
+    """One constraint of a branch: the constraint, its origin tag, a cache key.
+
+    ``tag`` is the signed Boolean definition literal the constraint came
+    from; ``key`` additionally disambiguates which negation alternative of
+    an equation was chosen (``(-var, alt_index)``), so it is usable as a
+    memoization key for the translated linear row.
+    """
+
+    __slots__ = ("constraint", "tag", "key")
+
+    def __init__(self, constraint: Constraint, tag: int, key: object):
+        self.constraint = constraint
+        self.tag = tag
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"BranchItem(tag={self.tag}, key={self.key!r})"
+
+
+class TranslationPlan:
+    """Outcome of splitting an assignment: fixed items plus equality splits."""
+
+    __slots__ = ("fixed", "splits")
+
+    def __init__(self, fixed: List[BranchItem], splits: List[List[BranchItem]]):
+        self.fixed = fixed
+        self.splits = splits
+
+    def branches(self):
+        """Iterate the fully-split branches (cartesian product of choices)."""
+        if not self.splits:
+            yield list(self.fixed)
+            return
+        for choice in itertools.product(*self.splits):
+            yield self.fixed + list(choice)
+
+
+class TheoryVerdict:
+    """Outcome of checking one Boolean assignment against theory."""
+
+    __slots__ = ("feasible", "theory_model", "blocking", "definite")
+
+    def __init__(
+        self,
+        feasible: bool,
+        theory_model: Optional[Dict[str, float]] = None,
+        blocking: Optional[List[int]] = None,
+        definite: bool = True,
+    ):
+        self.feasible = feasible
+        self.theory_model = theory_model
+        self.blocking = blocking
+        self.definite = definite  # False when incompleteness was involved
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers shared by the stages and the legacy entry points
+# ----------------------------------------------------------------------
+def complete_theory_model(
+    problem: ABProblem,
+    theory_model: Dict[str, float],
+    domains: Mapping[str, str],
+) -> None:
+    """Give unconstrained theory variables a (bound-respecting) value."""
+    for var in problem.theory_variables():
+        if var in theory_model:
+            if domains.get(var) == "int":
+                theory_model[var] = float(round(theory_model[var]))
+            continue
+        low, high = problem.bounds.get(var, (None, None))
+        value = 0.0
+        if low is not None and value < low:
+            value = float(low)
+        if high is not None and value > high:
+            value = float(high)
+        if domains.get(var) == "int":
+            value = float(math.ceil(value)) if low is not None and value == low else float(round(value))
+        theory_model[var] = value
+
+
+def full_blocking_clause(problem: ABProblem, alpha: Assignment) -> List[int]:
+    """Fallback: block the assignment restricted to defined variables."""
+    clause = []
+    for var in problem.definitions:
+        value = alpha.get(var, False)
+        clause.append(-var if value else var)
+    if not clause:  # no definitions: block the full assignment
+        clause = [(-var if value else var) for var, value in alpha.items()]
+    return clause
+
+
+def _integral_ok(
+    point: Mapping[str, float], domains: Mapping[str, str], tolerance: float
+) -> bool:
+    for var, value in point.items():
+        if domains.get(var) == "int" and abs(value - round(value)) > tolerance:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+class CandidateGenerationStage(SolverStage):
+    """Stage 1: produce Boolean candidate assignments, absorb blocking clauses.
+
+    The wrapped Boolean adapter persists across queries — learned clauses,
+    VSIDS activities, and saved phases all carry over, which is the main
+    clause-reuse lever of incremental sessions.  ``reset`` therefore does
+    *not* drop the solver; :meth:`rebind` does, when a session decides the
+    solver can no longer be trusted (it currently never needs to).
+    """
+
+    name = "boolean"
+
+    def __init__(self, pipeline: "SolvePipeline", boolean: BooleanSolverInterface):
+        self._pipeline = pipeline
+        self._boolean = boolean
+        self._cnf: Optional[CNF] = None
+
+    @property
+    def solver(self) -> BooleanSolverInterface:
+        return self._boolean
+
+    def prepare(self, cnf: CNF, frozen: Sequence[int]) -> None:
+        """Bind the CNF fed to the adapter's first solve and freeze variables."""
+        if self._cnf is None:
+            self._boolean.set_frozen_variables(frozen)
+            self._cnf = cnf
+
+    @property
+    def prepared(self) -> bool:
+        return self._cnf is not None
+
+    def next_candidate(self, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
+        if self._cnf is None:
+            raise RuntimeError("CandidateGenerationStage.prepare was never called")
+        stats = self._pipeline.stats
+        with stats.timed(self.name):
+            alpha = self._boolean.solve(self._cnf, assumptions)
+        stats.boolean_queries += 1
+        return alpha
+
+    def block(self, clause: Sequence[int]) -> None:
+        self._boolean.add_clause(clause)
+
+    def reset(self) -> None:
+        """No-op: the clause database stays valid across structural changes
+        (session lemmas are guarded by activation literals instead)."""
+
+
+class TheoryTranslationStage(SolverStage):
+    """Stage 2: Boolean assignment -> theory constraint branches, memoized.
+
+    Two cache layers:
+
+    * definition-literal -> :class:`LinearConstraint` (the expensive
+      ``linear_form`` normalization) plus the negation-alternative lists;
+    * full branch key -> built :class:`LinearSystem` (rows, bound rows,
+      domains) ready to hand to the linear stage.
+
+    Both survive across queries of a session; ``reset`` clears everything,
+    :meth:`invalidate_definitions` surgically drops entries for retracted
+    definitions, and any definition/bounds change clears the branch layer
+    (domains or bound rows may have shifted under it).
+    """
+
+    name = "translate"
+
+    BRANCH_CACHE_LIMIT = 8192
+
+    def __init__(self, pipeline: "SolvePipeline"):
+        self._pipeline = pipeline
+        self._rows: Dict[object, LinearConstraint] = {}
+        self._alternatives: Dict[int, List[Constraint]] = {}
+        self._branches: Dict[Tuple[object, ...], Tuple[LinearSystem, List[Tuple[Constraint, int]]]] = {}
+        self._bound_rows: Optional[List[LinearConstraint]] = None
+
+    # -- assignment splitting ------------------------------------------
+    def plan(self, problem: ABProblem, alpha: Assignment) -> TranslationPlan:
+        stats = self._pipeline.stats
+        fixed: List[BranchItem] = []
+        splits: List[List[BranchItem]] = []
+        for var, definition in problem.definitions.items():
+            phase = alpha.get(var, False)
+            if phase:
+                fixed.append(BranchItem(definition.constraint, var, var))
+            else:
+                alternatives = self._alternatives.get(var)
+                if alternatives is None:
+                    alternatives = definition.constraint.negated_alternatives()
+                    self._alternatives[var] = alternatives
+                if len(alternatives) == 1:
+                    fixed.append(BranchItem(alternatives[0], -var, -var))
+                else:
+                    stats.equality_splits += 1
+                    splits.append(
+                        [
+                            BranchItem(alt, -var, (-var, index))
+                            for index, alt in enumerate(alternatives)
+                        ]
+                    )
+        return TranslationPlan(fixed, splits)
+
+    # -- branch materialization ----------------------------------------
+    def materialize(
+        self,
+        problem: ABProblem,
+        branch: Sequence[BranchItem],
+        domains: Mapping[str, str],
+    ) -> Tuple[LinearSystem, List[Tuple[Constraint, int]]]:
+        """Build (or fetch) the linear system + nonlinear list of a branch."""
+        stats = self._pipeline.stats
+        key = tuple(item.key for item in branch)
+        cached = self._branches.get(key)
+        if cached is not None:
+            stats.translation_cache_hits += 1
+            return cached
+
+        linear_rows: List[LinearConstraint] = []
+        nonlinear: List[Tuple[Constraint, int]] = []
+        for item in branch:
+            if item.constraint.is_linear():
+                row = self._rows.get(item.key)
+                if row is None:
+                    stats.translation_cache_misses += 1
+                    row = LinearConstraint.from_constraint(item.constraint, tag=item.tag)
+                    self._rows[item.key] = row
+                else:
+                    stats.translation_cache_hits += 1
+                linear_rows.append(row)
+            else:
+                nonlinear.append((item.constraint, item.tag))
+
+        system = LinearSystem(linear_rows, {v: d for v, d in domains.items()})
+        for row in self._get_bound_rows(problem):
+            system.add(row)
+        if len(self._branches) >= self.BRANCH_CACHE_LIMIT:
+            self._branches.clear()
+        self._branches[key] = (system, nonlinear)
+        return system, nonlinear
+
+    def _get_bound_rows(self, problem: ABProblem) -> List[LinearConstraint]:
+        """Declared variable bounds become untagged rows of every LP."""
+        if self._bound_rows is not None:
+            return self._bound_rows
+        rows: List[LinearConstraint] = []
+        for var, (low, high) in problem.bounds.items():
+            if low is not None:
+                rows.append(
+                    LinearConstraint({var: Fraction(1)}, Relation.GE, Fraction(low).limit_denominator(10**9))
+                )
+            if high is not None:
+                rows.append(
+                    LinearConstraint({var: Fraction(1)}, Relation.LE, Fraction(high).limit_denominator(10**9))
+                )
+        self._bound_rows = rows
+        return rows
+
+    # -- invalidation ---------------------------------------------------
+    def invalidate_definitions(self, variables: Sequence[int]) -> None:
+        """Drop cached translations of retracted (popped) definitions."""
+        for var in variables:
+            self._alternatives.pop(var, None)
+            self._rows.pop(var, None)
+            self._rows.pop(-var, None)
+            stale = [key for key in self._rows if isinstance(key, tuple) and key[0] == -var]
+            for key in stale:
+                del self._rows[key]
+        self._branches.clear()
+
+    def definitions_changed(self) -> None:
+        """New definitions may retype shared variables: branch layer is stale."""
+        self._branches.clear()
+
+    def bounds_changed(self) -> None:
+        self._bound_rows = None
+        self._branches.clear()
+
+    def reset(self) -> None:
+        self._rows.clear()
+        self._alternatives.clear()
+        self._branches.clear()
+        self._bound_rows = None
+
+
+class LinearCheckStage(SolverStage):
+    """Stage 3: decide the linear constituent of a branch."""
+
+    name = "linear"
+
+    def __init__(self, pipeline: "SolvePipeline", linear: LinearSolverInterface):
+        self._pipeline = pipeline
+        self._linear = linear
+        self._warm_seen = 0
+
+    @property
+    def solver(self) -> LinearSolverInterface:
+        return self._linear
+
+    def check(self, system: LinearSystem) -> LPResult:
+        stats = self._pipeline.stats
+        with stats.timed(self.name):
+            result = self._linear.check(system)
+        stats.linear_checks += 1
+        hits = getattr(self._linear, "warm_start_hits", 0)
+        if hits > self._warm_seen:
+            stats.warm_start_hits += hits - self._warm_seen
+            self._warm_seen = hits
+        return result
+
+    def reset(self) -> None:
+        invalidate = getattr(self._linear, "invalidate_caches", None)
+        if invalidate is not None:
+            invalidate()
+
+
+class NonlinearCheckStage(SolverStage):
+    """Stage 4: route a surviving candidate through the nonlinear solver list.
+
+    "at each of those steps a list of solvers is used, if more than one
+    solver is enabled for some domain and the preceding solvers thereof
+    failed to provide a decent result" (Sec. 4).
+    """
+
+    name = "nonlinear"
+
+    def __init__(
+        self,
+        pipeline: "SolvePipeline",
+        chain: Sequence[NonlinearSolverInterface],
+        tolerance: float,
+    ):
+        self._pipeline = pipeline
+        self._chain = list(chain)
+        self._tolerance = tolerance
+
+    def search(
+        self,
+        problem: ABProblem,
+        branch: Sequence[BranchItem],
+        domains: Mapping[str, str],
+        hint: Mapping[str, float],
+    ) -> Optional[Dict[str, float]]:
+        """Find a theory point satisfying the whole branch, or None."""
+        stats = self._pipeline.stats
+        all_constraints = [item.constraint for item in branch]
+        hints = [dict(hint)]
+        bounds = problem.effective_bounds()
+        for solver in self._chain:
+            if not solver.applicable(all_constraints):
+                continue
+            with stats.timed(self.name):
+                nlp = solver.solve(
+                    all_constraints, bounds=problem.bounds or bounds, hints=hints
+                )
+            stats.nonlinear_calls += 1
+            if nlp.status is NLPStatus.SAT and _integral_ok(
+                nlp.point, domains, self._tolerance
+            ):
+                return dict(nlp.point)
+        return None
+
+    def reset(self) -> None:
+        """No-op: nonlinear solvers are stateless between calls."""
+
+
+class ConflictRefinementStage(SolverStage):
+    """Stage 5: explain a failed branch as a (small) blocking clause.
+
+    Linear conflicts go through the LP adapter's IIS refinement; nonlinear
+    candidates that local search could not settle are attacked with the
+    interval branch-and-prune refuter, whose success certifies the conflict
+    (and whose failure marks the query incomplete).
+    """
+
+    name = "refine"
+
+    def __init__(
+        self,
+        pipeline: "SolvePipeline",
+        linear: LinearSolverInterface,
+        refine_conflicts: bool,
+        use_interval_refuter: bool,
+    ):
+        self._pipeline = pipeline
+        self._linear = linear
+        self._refine_conflicts = refine_conflicts
+        self._use_interval_refuter = use_interval_refuter
+
+    def refine_linear(self, system: LinearSystem) -> Refinement:
+        stats = self._pipeline.stats
+        if not self._refine_conflicts:
+            tags = [row.tag for row in system.rows if isinstance(row.tag, int)]
+            return Refinement(tags, minimal=False)
+        with stats.timed(self.name):
+            refinement = self._linear.refine(system)
+        stats.conflicts_refined += 1
+        return refinement
+
+    def refute_interval(
+        self, problem: ABProblem, branch: Sequence[BranchItem]
+    ) -> Tuple[bool, List[int]]:
+        """Try to certify infeasibility of the branch over interval boxes.
+
+        Variables with declared bounds use them; undeclared variables get an
+        unbounded interval (so a refutation remains globally sound).
+        """
+        if not self._use_interval_refuter:
+            return False, []
+        constraints = [item.constraint for item in branch]
+        variables = sorted({v for c in constraints for v in c.variables()})
+        bounds: Dict[str, Tuple[float, float]] = {}
+        for var in variables:
+            low, high = problem.bounds.get(var, (None, None))
+            bounds[var] = (
+                low if low is not None else -math.inf,
+                high if high is not None else math.inf,
+            )
+        refuter = IntervalRefuter()
+        result = refuter.refute(constraints, bounds)
+        if result.status is RefuteStatus.REFUTED:
+            self._pipeline.stats.interval_refutations += 1
+            return True, [item.tag for item in branch]
+        return False, []
+
+    def reset(self) -> None:
+        """No-op: refinement holds no problem-structure state."""
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+class SolvePipeline:
+    """Candidate -> translate -> linear -> nonlinear -> refine, in a loop.
+
+    One pipeline owns one set of substrate solvers and caches; it may serve
+    many queries against the *same* evolving problem (that is what sessions
+    do).  ``stats`` is swapped per query by the owner.
+    """
+
+    def __init__(
+        self,
+        config,  # ABSolverConfig; untyped to avoid a circular import
+        registry: Optional[SolverRegistry] = None,
+        stats: Optional[SolveStatistics] = None,
+    ):
+        self.config = config
+        self.registry = registry or default_registry
+        self.stats = stats or SolveStatistics()
+
+        boolean: BooleanSolverInterface = self.registry.create(
+            DOMAIN_BOOLEAN, config.boolean, **config.boolean_options
+        )
+        linear: LinearSolverInterface = self.registry.create(
+            DOMAIN_LINEAR, config.linear, **config.linear_options
+        )
+        chain: List[NonlinearSolverInterface] = [
+            self.registry.create(DOMAIN_NONLINEAR, name, **config.nonlinear_options)
+            for name in config.nonlinear
+        ]
+
+        self.candidate = CandidateGenerationStage(self, boolean)
+        self.translation = TheoryTranslationStage(self)
+        self.linear = LinearCheckStage(self, linear)
+        self.nonlinear = NonlinearCheckStage(self, chain, config.tolerance)
+        self.refinement = ConflictRefinementStage(
+            self,
+            linear,
+            refine_conflicts=config.refine_conflicts,
+            use_interval_refuter=config.use_interval_refuter,
+        )
+        self.stages: Tuple[SolverStage, ...] = (
+            self.candidate,
+            self.translation,
+            self.linear,
+            self.nonlinear,
+            self.refinement,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural-change hooks (driven by SolverSession)
+    # ------------------------------------------------------------------
+    def prepare(self, cnf: CNF, frozen: Sequence[int]) -> None:
+        self.candidate.prepare(cnf, frozen)
+
+    def definitions_added(self) -> None:
+        self.translation.definitions_changed()
+
+    def definitions_removed(self, variables: Sequence[int]) -> None:
+        self.translation.invalidate_definitions(variables)
+        self.linear.reset()
+
+    def bounds_changed(self) -> None:
+        self.translation.bounds_changed()
+        self.linear.reset()
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def run_query(
+        self,
+        problem: ABProblem,
+        assumptions: Sequence[int] = (),
+        trace: Optional[TraceHook] = None,
+        record_certificate: bool = False,
+        on_lemma: Optional[LemmaHook] = None,
+        prior_incomplete: bool = False,
+    ):
+        """One full solve over the current problem; returns an ``ABResult``.
+
+        ``on_lemma`` lets the owner intercept every theory lemma before it
+        reaches the Boolean solver (sessions guard lemmas with activation
+        literals there); ``prior_incomplete`` carries a session's memory of
+        still-active indefinite blocks, which downgrade an exhausted Boolean
+        space from UNSAT to UNKNOWN.
+        """
+        from .solver import ABModel, ABResult, ABStatus
+
+        config = self.config
+        stats = self.stats
+        domains = problem.variable_domains()
+        circuit = Circuit.from_ab_problem(problem)
+        complete = not prior_incomplete
+        lemmas: List[List[int]] = []
+
+        def emit(event: str, **payload) -> None:
+            if trace is not None:
+                trace(event, payload)
+
+        for iteration in range(config.max_iterations):
+            alpha = self.candidate.next_candidate(assumptions)
+            if alpha is None:
+                if complete:
+                    certificate = None
+                    if record_certificate:
+                        from .certify import UnsatCertificate
+
+                        certificate = UnsatCertificate(lemmas)
+                    emit("verdict", status="unsat", iterations=iteration)
+                    return ABResult(
+                        ABStatus.UNSAT, stats=stats, certificate=certificate
+                    )
+                emit("verdict", status="unknown", iterations=iteration)
+                return ABResult(
+                    ABStatus.UNKNOWN,
+                    stats=stats,
+                    reason="Boolean space exhausted, but some nonlinear "
+                    "candidates could be neither satisfied nor refuted",
+                )
+            emit(
+                "boolean-model",
+                iteration=iteration,
+                defined_true=sum(
+                    1 for var in problem.definitions if alpha.get(var, False)
+                ),
+            )
+            verdict = self.check_candidate(problem, alpha, domains)
+            if verdict.feasible:
+                emit("theory-feasible", iteration=iteration)
+                model = ABModel(alpha, verdict.theory_model or {})
+                # Final guards: the circuit's output pin must be tt under the
+                # Boolean assignment, and the combined model must pass the
+                # tolerance-aware definition check.
+                output = circuit.evaluate_boolean_assignment(alpha)
+                if output is not TT:  # pragma: no cover - internal invariant
+                    raise AssertionError("circuit output is not tt for an accepted model")
+                if not problem.check_model(
+                    model.boolean, model.theory, tolerance=config.tolerance
+                ):  # pragma: no cover - internal invariant
+                    raise AssertionError("accepted model failed the definition check")
+                emit("verdict", status="sat", iterations=iteration + 1)
+                return ABResult(ABStatus.SAT, model=model, stats=stats)
+            if not verdict.definite:
+                complete = False
+            blocking = verdict.blocking or full_blocking_clause(problem, alpha)
+            stats.blocking_clauses += 1
+            emit(
+                "theory-conflict",
+                iteration=iteration,
+                blocking_size=len(blocking),
+                definite=verdict.definite,
+            )
+            if record_certificate:
+                lemmas.append(list(blocking))
+            solver_clause = (
+                on_lemma(list(blocking), verdict.definite)
+                if on_lemma is not None
+                else blocking
+            )
+            self.candidate.block(solver_clause)
+        return ABResult(
+            ABStatus.UNKNOWN, stats=stats, reason="iteration budget exhausted"
+        )
+
+    # ------------------------------------------------------------------
+    # Theory checking (stages 2-5 over one candidate)
+    # ------------------------------------------------------------------
+    def check_candidate(
+        self,
+        problem: ABProblem,
+        alpha: Assignment,
+        domains: Optional[Mapping[str, str]] = None,
+    ) -> TheoryVerdict:
+        """Check one Boolean assignment against the arithmetic definitions."""
+        if domains is None:
+            domains = problem.variable_domains()
+        stats = self.stats
+        with stats.timed(self.translation.name):
+            plan = self.translation.plan(problem, alpha)
+        if len(plan.splits) > self.config.max_equality_splits:
+            raise RuntimeError(
+                f"{len(plan.splits)} simultaneous negated equalities exceed the "
+                f"configured split budget ({self.config.max_equality_splits})"
+            )
+
+        refinements: List[Refinement] = []
+        indefinite = False
+        for branch in plan.branches():
+            outcome = self._check_branch(problem, branch, domains)
+            if outcome.feasible:
+                return outcome
+            if not outcome.definite:
+                indefinite = True
+            if outcome.blocking is not None:
+                refinements.append(
+                    Refinement([-l for l in outcome.blocking], minimal=True)
+                )
+
+        if indefinite:
+            return TheoryVerdict(False, definite=False)
+        # All branches failed definitely.  The union of branch cores forms a
+        # sound conflict over the original assignment (see DESIGN.md).
+        union_tags = sorted({tag for r in refinements for tag in r.conflicting_tags})
+        if union_tags:
+            return TheoryVerdict(False, blocking=[-t for t in union_tags])
+        return TheoryVerdict(False)
+
+    def _check_branch(
+        self,
+        problem: ABProblem,
+        branch: Sequence[BranchItem],
+        domains: Mapping[str, str],
+    ) -> TheoryVerdict:
+        """Check one fully-split constraint conjunction."""
+        with self.stats.timed(self.translation.name):
+            system, nonlinear_constraints = self.translation.materialize(
+                problem, branch, domains
+            )
+
+        lp_result = self.linear.check(system)
+        if lp_result.status is not LPStatus.FEASIBLE:
+            refinement = self.refinement.refine_linear(system)
+            return TheoryVerdict(False, blocking=refinement.blocking_clause())
+
+        if not nonlinear_constraints:
+            theory_model = {var: float(value) for var, value in lp_result.point.items()}
+            complete_theory_model(problem, theory_model, domains)
+            return TheoryVerdict(True, theory_model=theory_model)
+
+        # Nonlinear treatment: the candidate must satisfy the *whole* branch.
+        hint = {var: float(value) for var, value in lp_result.point.items()}
+        point = self.nonlinear.search(problem, branch, domains, hint)
+        if point is not None:
+            complete_theory_model(problem, point, domains)
+            return TheoryVerdict(True, theory_model=point)
+
+        # Local search failed: try to *refute* the branch with intervals.
+        refuted, core_tags = self.refinement.refute_interval(problem, branch)
+        if refuted:
+            return TheoryVerdict(False, blocking=[-t for t in core_tags])
+        return TheoryVerdict(False, definite=False)

@@ -95,6 +95,11 @@ def _build_default_registry() -> SolverRegistry:
         "simplex-presolve",
         lambda **options: SimplexLinearAdapter(use_presolve=True, **options),
     )
+    registry.register(
+        DOMAIN_LINEAR,
+        "simplex-warm",
+        lambda **options: SimplexLinearAdapter(warm_start=True, **options),
+    )
     registry.register(DOMAIN_NONLINEAR, "newton", NewtonNonlinearAdapter)
     registry.register(DOMAIN_NONLINEAR, "auglag", AugLagNonlinearAdapter)
     try:

@@ -23,40 +23,26 @@ pairs it with an interval branch-and-prune refuter that can certify
 nonlinear conflicts.  When neither settles a candidate, the loop blocks the
 assignment and remembers that completeness was lost: exhausting the Boolean
 space then yields UNKNOWN instead of UNSAT.
+
+The loop itself lives in :mod:`repro.core.pipeline` as five composable
+stages; :class:`ABSolver` drives a single-use
+:class:`~repro.core.session.SolverSession` over it.  Long-lived sessions
+with ``push``/``pop`` and cross-query lemma reuse are the incremental
+interface built on the same machinery.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
-import math
-from fractions import Fraction
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Set
 
-from ..linear.lp import LinearConstraint, LinearSystem
-from ..linear.simplex import LPStatus
-from ..nonlinear.auglag import NLPStatus
-from ..nonlinear.refute import IntervalRefuter, RefuteStatus
 from ..sat.allsat import AllSATSolver
-from ..sat.cnf import Assignment, CNF
-from .circuit import Circuit
-from .expr import Constraint, Relation
-from .interface import (
-    BooleanSolverInterface,
-    LinearSolverInterface,
-    NonlinearSolverInterface,
-    Refinement,
-)
-from .problem import ABProblem, Definition
-from .registry import (
-    DOMAIN_BOOLEAN,
-    DOMAIN_LINEAR,
-    DOMAIN_NONLINEAR,
-    SolverRegistry,
-    default_registry,
-)
+from ..sat.cnf import Assignment
+from .interface import BooleanSolverInterface
+from .pipeline import SolvePipeline
+from .problem import ABProblem
+from .registry import SolverRegistry, default_registry
 from .stats import SolveStatistics
-from .tristate import TT, Tri
 
 __all__ = ["ABStatus", "ABModel", "ABResult", "ABSolverConfig", "ABSolver"]
 
@@ -70,21 +56,52 @@ class ABStatus(enum.Enum):
 
 
 class ABModel:
-    """A full model: Boolean assignment plus theory point."""
+    """A full model: Boolean assignment plus theory point.
+
+    Models are immutable and hashable, so sessions and all-SAT enumeration
+    can dedupe them in a set.  The ``boolean`` / ``theory`` properties
+    return fresh dict copies; mutating a copy never affects the model.
+    """
+
+    __slots__ = ("_boolean", "_theory", "_hash")
 
     def __init__(self, boolean: Mapping[int, bool], theory: Mapping[str, float]):
-        self.boolean = dict(boolean)
-        self.theory = dict(theory)
+        object.__setattr__(self, "_boolean", dict(boolean))
+        object.__setattr__(self, "_theory", dict(theory))
+        object.__setattr__(self, "_hash", None)
+
+    @property
+    def boolean(self) -> Dict[int, bool]:
+        return dict(self._boolean)
+
+    @property
+    def theory(self) -> Dict[str, float]:
+        return dict(self._theory)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ABModel is immutable")
 
     def __repr__(self) -> str:
-        return f"ABModel(boolean={self.boolean}, theory={self.theory})"
+        return f"ABModel(boolean={self._boolean}, theory={self._theory})"
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, ABModel)
-            and other.boolean == self.boolean
-            and other.theory == self.theory
+            and other._boolean == self._boolean
+            and other._theory == self._theory
         )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(
+                (
+                    frozenset(self._boolean.items()),
+                    frozenset(self._theory.items()),
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 class ABResult:
@@ -163,22 +180,6 @@ class ABSolverConfig:
         self.trace = trace
 
 
-class _TheoryVerdict:
-    """Internal: outcome of checking one Boolean assignment against theory."""
-
-    def __init__(
-        self,
-        feasible: bool,
-        theory_model: Optional[Dict[str, float]] = None,
-        blocking: Optional[List[int]] = None,
-        definite: bool = True,
-    ):
-        self.feasible = feasible
-        self.theory_model = theory_model
-        self.blocking = blocking
-        self.definite = definite  # False when incompleteness was involved
-
-
 class ABSolver:
     """The multi-domain satisfiability engine."""
 
@@ -203,91 +204,18 @@ class ABSolver:
         (e.g. pin a mode bit, or a definition's phase, without copying the
         problem); an UNSAT answer then means "unsatisfiable under the
         assumptions".
+
+        Each call runs a fresh single-use
+        :class:`~repro.core.session.SolverSession`; use a session directly
+        when solving a family of related queries incrementally.
         """
-        self.stats = SolveStatistics()
-        config = self.config
-        boolean: BooleanSolverInterface = self.registry.create(
-            DOMAIN_BOOLEAN, config.boolean, **config.boolean_options
-        )
-        boolean.set_frozen_variables(sorted(problem.definitions))
-        linear: LinearSolverInterface = self.registry.create(
-            DOMAIN_LINEAR, config.linear, **config.linear_options
-        )
-        nonlinear_chain: List[NonlinearSolverInterface] = [
-            self.registry.create(DOMAIN_NONLINEAR, name, **config.nonlinear_options)
-            for name in config.nonlinear
-        ]
+        from .session import SolverSession
 
-        domains = problem.variable_domains()
-        circuit = Circuit.from_ab_problem(problem)
-        complete = True
-        lemmas: List[List[int]] = []
-
-        def emit(event: str, **payload) -> None:
-            if config.trace is not None:
-                config.trace(event, payload)
-
-        for iteration in range(config.max_iterations):
-            with self.stats.timed("boolean"):
-                alpha = boolean.solve(problem.cnf, assumptions)
-            self.stats.boolean_queries += 1
-            if alpha is None:
-                if complete:
-                    certificate = None
-                    if config.record_certificate:
-                        from .certify import UnsatCertificate
-
-                        certificate = UnsatCertificate(lemmas)
-                    emit("verdict", status="unsat", iterations=iteration)
-                    return ABResult(
-                        ABStatus.UNSAT, stats=self.stats, certificate=certificate
-                    )
-                emit("verdict", status="unknown", iterations=iteration)
-                return ABResult(
-                    ABStatus.UNKNOWN,
-                    stats=self.stats,
-                    reason="Boolean space exhausted, but some nonlinear "
-                    "candidates could be neither satisfied nor refuted",
-                )
-            emit(
-                "boolean-model",
-                iteration=iteration,
-                defined_true=sum(
-                    1 for var in problem.definitions if alpha.get(var, False)
-                ),
-            )
-            verdict = self._check_theory(problem, alpha, domains, linear, nonlinear_chain)
-            if verdict.feasible:
-                emit("theory-feasible", iteration=iteration)
-                model = ABModel(alpha, verdict.theory_model or {})
-                # Final guards: the circuit's output pin must be tt under the
-                # Boolean assignment, and the combined model must pass the
-                # tolerance-aware definition check.
-                output = circuit.evaluate_boolean_assignment(alpha)
-                if output is not TT:  # pragma: no cover - internal invariant
-                    raise AssertionError("circuit output is not tt for an accepted model")
-                if not problem.check_model(
-                    model.boolean, model.theory, tolerance=self.config.tolerance
-                ):  # pragma: no cover - internal invariant
-                    raise AssertionError("accepted model failed the definition check")
-                emit("verdict", status="sat", iterations=iteration + 1)
-                return ABResult(ABStatus.SAT, model=model, stats=self.stats)
-            if not verdict.definite:
-                complete = False
-            blocking = verdict.blocking or self._full_blocking_clause(problem, alpha)
-            self.stats.blocking_clauses += 1
-            emit(
-                "theory-conflict",
-                iteration=iteration,
-                blocking_size=len(blocking),
-                definite=verdict.definite,
-            )
-            if config.record_certificate:
-                lemmas.append(list(blocking))
-            boolean.add_clause(blocking)
-        return ABResult(
-            ABStatus.UNKNOWN, stats=self.stats, reason="iteration budget exhausted"
-        )
+        session = SolverSession(self.config, self.registry)
+        session.assert_problem(problem)
+        result = session.check(assumptions)
+        self.stats = result.stats
+        return result
 
     def all_solutions(
         self, problem: ABProblem, limit: Optional[int] = None
@@ -297,20 +225,13 @@ class ABSolver:
         Uses the Boolean solver's native all-SAT when available (the LSAT
         path) and ABsolver's own bookkeeping — iterated blocking clauses —
         otherwise, exactly as the paper describes.  Boolean assignments that
-        fail their theory check are skipped.
+        fail their theory check are skipped; duplicate models (distinct
+        assignments completing to the same point) are deduped via the
+        models' hashability.
         """
-        config = self.config
         self.stats = SolveStatistics()
-        linear: LinearSolverInterface = self.registry.create(
-            DOMAIN_LINEAR, config.linear, **config.linear_options
-        )
-        nonlinear_chain: List[NonlinearSolverInterface] = [
-            self.registry.create(DOMAIN_NONLINEAR, name, **config.nonlinear_options)
-            for name in config.nonlinear
-        ]
-        boolean: BooleanSolverInterface = self.registry.create(
-            DOMAIN_BOOLEAN, config.boolean, **config.boolean_options
-        )
+        pipeline = SolvePipeline(self.config, self.registry, stats=self.stats)
+        boolean = pipeline.candidate.solver
         domains = problem.variable_domains()
 
         if boolean.supports_all_models:
@@ -320,12 +241,17 @@ class ABSolver:
         else:
             models = self._iterate_with_bookkeeping(boolean, problem)
 
+        seen: Set[ABModel] = set()
         produced = 0
         for alpha in models:
             self.stats.models_enumerated += 1
-            verdict = self._check_theory(problem, alpha, domains, linear, nonlinear_chain)
+            verdict = pipeline.check_candidate(problem, alpha, domains)
             if verdict.feasible:
-                yield ABModel(alpha, verdict.theory_model or {})
+                model = ABModel(alpha, verdict.theory_model or {})
+                if model in seen:
+                    continue
+                seen.add(model)
+                yield model
                 produced += 1
                 if limit is not None and produced >= limit:
                     return
@@ -356,202 +282,3 @@ class ABSolver:
             if not blocking:
                 return
             boolean.add_clause(blocking)
-
-    # ------------------------------------------------------------------
-    # Theory checking
-    # ------------------------------------------------------------------
-    def _check_theory(
-        self,
-        problem: ABProblem,
-        alpha: Assignment,
-        domains: Mapping[str, str],
-        linear: LinearSolverInterface,
-        nonlinear_chain: Sequence[NonlinearSolverInterface],
-    ) -> _TheoryVerdict:
-        """Check one Boolean assignment against the arithmetic definitions."""
-        fixed: List[Tuple[Constraint, int]] = []  # (constraint, tag)
-        splits: List[List[Tuple[Constraint, int]]] = []  # negated equalities
-
-        for var, definition in problem.definitions.items():
-            phase = alpha.get(var, False)
-            if phase:
-                fixed.append((definition.constraint, var))
-            else:
-                alternatives = definition.constraint.negated_alternatives()
-                if len(alternatives) == 1:
-                    fixed.append((alternatives[0], -var))
-                else:
-                    self.stats.equality_splits += 1
-                    splits.append([(alt, -var) for alt in alternatives])
-
-        if len(splits) > self.config.max_equality_splits:
-            raise RuntimeError(
-                f"{len(splits)} simultaneous negated equalities exceed the "
-                f"configured split budget ({self.config.max_equality_splits})"
-            )
-
-        refinements: List[Refinement] = []
-        indefinite = False
-        for choice in itertools.product(*splits) if splits else [()]:
-            branch = fixed + list(choice)
-            outcome = self._check_branch(problem, branch, domains, linear, nonlinear_chain)
-            if outcome.feasible:
-                return outcome
-            if not outcome.definite:
-                indefinite = True
-            if outcome.blocking is not None:
-                refinements.append(Refinement([-l for l in outcome.blocking], minimal=True))
-
-        if indefinite:
-            return _TheoryVerdict(False, definite=False)
-        # All branches failed definitely.  The union of branch cores forms a
-        # sound conflict over the original assignment (see DESIGN.md).
-        union_tags = sorted({tag for r in refinements for tag in r.conflicting_tags})
-        if union_tags:
-            return _TheoryVerdict(False, blocking=[-t for t in union_tags])
-        return _TheoryVerdict(False)
-
-    def _check_branch(
-        self,
-        problem: ABProblem,
-        branch: Sequence[Tuple[Constraint, int]],
-        domains: Mapping[str, str],
-        linear: LinearSolverInterface,
-        nonlinear_chain: Sequence[NonlinearSolverInterface],
-    ) -> _TheoryVerdict:
-        """Check one fully-split constraint conjunction."""
-        linear_rows: List[LinearConstraint] = []
-        nonlinear_constraints: List[Tuple[Constraint, int]] = []
-        for constraint, tag in branch:
-            if constraint.is_linear():
-                linear_rows.append(LinearConstraint.from_constraint(constraint, tag=tag))
-            else:
-                nonlinear_constraints.append((constraint, tag))
-
-        system = LinearSystem(linear_rows, {v: d for v, d in domains.items()})
-        bound_rows = self._bound_rows(problem)
-        for row in bound_rows:
-            system.add(row)
-
-        with self.stats.timed("linear"):
-            lp_result = linear.check(system)
-        self.stats.linear_checks += 1
-        if lp_result.status is not LPStatus.FEASIBLE:
-            refinement = self._refine(linear, system)
-            return _TheoryVerdict(False, blocking=refinement.blocking_clause())
-
-        if not nonlinear_constraints:
-            theory_model = {var: float(value) for var, value in lp_result.point.items()}
-            self._complete_theory_model(problem, theory_model, domains)
-            return _TheoryVerdict(True, theory_model=theory_model)
-
-        # Nonlinear treatment: the candidate must satisfy the *whole* branch.
-        all_constraints = [c for c, _ in branch]
-        hints = [{var: float(value) for var, value in lp_result.point.items()}]
-        bounds = problem.effective_bounds()
-        for solver in nonlinear_chain:
-            if not solver.applicable(all_constraints):
-                continue
-            with self.stats.timed("nonlinear"):
-                nlp = solver.solve(all_constraints, bounds=problem.bounds or bounds, hints=hints)
-            self.stats.nonlinear_calls += 1
-            if nlp.status is NLPStatus.SAT and self._integral_ok(nlp.point, domains):
-                theory_model = dict(nlp.point)
-                self._complete_theory_model(problem, theory_model, domains)
-                return _TheoryVerdict(True, theory_model=theory_model)
-
-        # Local search failed: try to *refute* the branch with intervals.
-        if self.config.use_interval_refuter:
-            refuted, core_tags = self._interval_refute(problem, branch)
-            if refuted:
-                self.stats.interval_refutations += 1
-                return _TheoryVerdict(False, blocking=[-t for t in core_tags])
-        return _TheoryVerdict(False, definite=False)
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _refine(self, linear: LinearSolverInterface, system: LinearSystem) -> Refinement:
-        if not self.config.refine_conflicts:
-            tags = [row.tag for row in system.rows if isinstance(row.tag, int)]
-            return Refinement(tags, minimal=False)
-        with self.stats.timed("refine"):
-            refinement = linear.refine(system)
-        self.stats.conflicts_refined += 1
-        return refinement
-
-    def _bound_rows(self, problem: ABProblem) -> List[LinearConstraint]:
-        """Declared variable bounds become untagged rows of every LP."""
-        rows: List[LinearConstraint] = []
-        for var, (low, high) in problem.bounds.items():
-            if low is not None:
-                rows.append(
-                    LinearConstraint({var: Fraction(1)}, Relation.GE, Fraction(low).limit_denominator(10**9))
-                )
-            if high is not None:
-                rows.append(
-                    LinearConstraint({var: Fraction(1)}, Relation.LE, Fraction(high).limit_denominator(10**9))
-                )
-        return rows
-
-    def _interval_refute(
-        self, problem: ABProblem, branch: Sequence[Tuple[Constraint, int]]
-    ) -> Tuple[bool, List[int]]:
-        """Try to certify infeasibility of the branch over interval boxes.
-
-        Variables with declared bounds use them; undeclared variables get an
-        unbounded interval (so a refutation remains globally sound).
-        """
-        constraints = [c for c, _ in branch]
-        variables = sorted({v for c in constraints for v in c.variables()})
-        bounds: Dict[str, Tuple[float, float]] = {}
-        for var in variables:
-            low, high = problem.bounds.get(var, (None, None))
-            bounds[var] = (
-                low if low is not None else -math.inf,
-                high if high is not None else math.inf,
-            )
-        refuter = IntervalRefuter()
-        result = refuter.refute(constraints, bounds)
-        if result.status is RefuteStatus.REFUTED:
-            return True, [tag for _, tag in branch]
-        return False, []
-
-    def _integral_ok(self, point: Mapping[str, float], domains: Mapping[str, str]) -> bool:
-        tolerance = self.config.tolerance
-        for var, value in point.items():
-            if domains.get(var) == "int" and abs(value - round(value)) > tolerance:
-                return False
-        return True
-
-    def _complete_theory_model(
-        self,
-        problem: ABProblem,
-        theory_model: Dict[str, float],
-        domains: Mapping[str, str],
-    ) -> None:
-        """Give unconstrained theory variables a (bound-respecting) value."""
-        for var in problem.theory_variables():
-            if var in theory_model:
-                if domains.get(var) == "int":
-                    theory_model[var] = float(round(theory_model[var]))
-                continue
-            low, high = problem.bounds.get(var, (None, None))
-            value = 0.0
-            if low is not None and value < low:
-                value = float(low)
-            if high is not None and value > high:
-                value = float(high)
-            if domains.get(var) == "int":
-                value = float(math.ceil(value)) if low is not None and value == low else float(round(value))
-            theory_model[var] = value
-
-    def _full_blocking_clause(self, problem: ABProblem, alpha: Assignment) -> List[int]:
-        """Fallback: block the assignment restricted to defined variables."""
-        clause = []
-        for var in problem.definitions:
-            value = alpha.get(var, False)
-            clause.append(-var if value else var)
-        if not clause:  # no definitions: block the full assignment
-            clause = [(-var if value else var) for var, value in alpha.items()]
-        return clause

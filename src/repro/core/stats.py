@@ -16,7 +16,35 @@ class SolveStatistics:
     we explain *why* a configuration is fast or slow (e.g. the SMT-LIB
     discussion in Sec. 5.2: "many Boolean solutions need to be examined
     first").
+
+    Since the staged-pipeline refactor the counters also cover incremental
+    reuse: ``clauses_reused`` (theory lemmas learned in an earlier query of
+    a :class:`~repro.core.session.SolverSession` that were still active when
+    a later ``check`` started), ``translation_cache_hits`` /
+    ``translation_cache_misses`` (memoized definition-literal -> linear-row
+    translations), ``warm_start_hits`` (simplex checks answered from a
+    cached feasible point), and ``lemmas_retracted`` (lemmas dropped because
+    a ``pop`` retracted the frame they depended on).  Per-stage wall clock
+    lands in ``timers`` under the stage names (``boolean``, ``translate``,
+    ``linear``, ``nonlinear``, ``refine``).
     """
+
+    _COUNTERS = (
+        "boolean_queries",
+        "linear_checks",
+        "nonlinear_calls",
+        "interval_refutations",
+        "conflicts_refined",
+        "blocking_clauses",
+        "equality_splits",
+        "models_enumerated",
+        "queries",
+        "clauses_reused",
+        "translation_cache_hits",
+        "translation_cache_misses",
+        "warm_start_hits",
+        "lemmas_retracted",
+    )
 
     def __init__(self) -> None:
         self.boolean_queries = 0
@@ -27,6 +55,12 @@ class SolveStatistics:
         self.blocking_clauses = 0
         self.equality_splits = 0
         self.models_enumerated = 0
+        self.queries = 0
+        self.clauses_reused = 0
+        self.translation_cache_hits = 0
+        self.translation_cache_misses = 0
+        self.warm_start_hits = 0
+        self.lemmas_retracted = 0
         self.timers: Dict[str, float] = {}
 
     @contextmanager
@@ -38,16 +72,22 @@ class SolveStatistics:
         finally:
             self.timers[key] = self.timers.get(key, 0.0) + time.perf_counter() - started
 
+    def merge(self, other: "SolveStatistics") -> "SolveStatistics":
+        """Fold another run's counters and timers into this one.
+
+        Sessions use this for cross-query aggregation: each ``check`` fills
+        a fresh :class:`SolveStatistics`, which is then merged into the
+        session's cumulative record.  Returns ``self`` for chaining.
+        """
+        for field in self._COUNTERS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        for key, value in other.timers.items():
+            self.timers[key] = self.timers.get(key, 0.0) + value
+        return self
+
     def as_dict(self) -> Dict[str, float]:
         result: Dict[str, float] = {
-            "boolean_queries": self.boolean_queries,
-            "linear_checks": self.linear_checks,
-            "nonlinear_calls": self.nonlinear_calls,
-            "interval_refutations": self.interval_refutations,
-            "conflicts_refined": self.conflicts_refined,
-            "blocking_clauses": self.blocking_clauses,
-            "equality_splits": self.equality_splits,
-            "models_enumerated": self.models_enumerated,
+            field: getattr(self, field) for field in self._COUNTERS
         }
         for key, value in self.timers.items():
             result[f"time_{key}"] = value

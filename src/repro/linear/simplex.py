@@ -116,11 +116,26 @@ class SimplexSolver:
 
     ``max_pivots`` bounds the total pivot count (a safety net; Bland's rule
     already guarantees termination).
+
+    ``warm_start`` enables the incremental-session warm-start hook: after a
+    feasible check, the optimal point (i.e. the witness the final basis
+    evaluates to) is cached under the *structural* signature of the system —
+    coefficients and relations, but not the right-hand sides.  A later check
+    whose rows differ only in their bounds first re-validates the cached
+    point with exact arithmetic and, when it still satisfies every row,
+    answers without pivoting at all (``warm_hits`` counts these).  The
+    fallback is always a full solve, so verdicts are unaffected.
     """
 
-    def __init__(self, max_pivots: int = 200_000):
+    #: Cap on cached warm-start points (structural signatures).
+    WARM_CACHE_LIMIT = 512
+
+    def __init__(self, max_pivots: int = 200_000, warm_start: bool = False):
         self.max_pivots = max_pivots
         self.pivots = 0
+        self.warm_start = warm_start
+        self.warm_hits = 0
+        self._warm_points: Dict[object, Dict[str, Fraction]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -143,6 +158,13 @@ class SimplexSolver:
             return trivial
         positions = [i for i, row in enumerate(system.rows) if not row.is_trivial()]
         rows = [system.rows[i] for i in positions]
+        signature: Optional[object] = None
+        if self.warm_start:
+            signature = self._structural_signature(rows)
+            cached = self._warm_points.get(signature)
+            if cached is not None and self._point_satisfies(rows, cached):
+                self.warm_hits += 1
+                return LPResult(LPStatus.FEASIBLE, dict(cached), _ZERO)
         has_strict = any(row.relation in (Relation.LT, Relation.GT) for row in rows)
         if not has_strict:
             result = self._solve(rows, objective=None, maximize=False)
@@ -159,7 +181,48 @@ class SimplexSolver:
             result.core_indices = sorted(positions[i] for i in result.core_indices)
         if result.status is LPStatus.FEASIBLE:
             result.point.pop(EPSILON_VAR, None)
+            if signature is not None:
+                if len(self._warm_points) >= self.WARM_CACHE_LIMIT:
+                    self._warm_points.clear()
+                self._warm_points[signature] = dict(result.point)
         return result
+
+    def clear_warm_cache(self) -> None:
+        """Drop every cached warm-start point (session ``pop`` hook)."""
+        self._warm_points.clear()
+
+    @staticmethod
+    def _structural_signature(rows: Sequence[LinearConstraint]) -> object:
+        """Hashable key over coefficients and relations, ignoring bounds."""
+        return frozenset(
+            (tuple(sorted(row.coeffs.items())), row.relation) for row in rows
+        )
+
+    @staticmethod
+    def _point_satisfies(
+        rows: Sequence[LinearConstraint], point: Mapping[str, Fraction]
+    ) -> bool:
+        """Exact (Fraction) feasibility of a candidate point, strict rows included."""
+        for row in rows:
+            lhs = sum(
+                (coeff * point.get(var, _ZERO) for var, coeff in row.coeffs.items()),
+                _ZERO,
+            )
+            if row.relation is Relation.LE:
+                ok = lhs <= row.bound
+            elif row.relation is Relation.GE:
+                ok = lhs >= row.bound
+            elif row.relation is Relation.EQ:
+                ok = lhs == row.bound
+            elif row.relation is Relation.LT:
+                ok = lhs < row.bound
+            elif row.relation is Relation.GT:
+                ok = lhs > row.bound
+            else:  # pragma: no cover - Relation is a closed enum
+                raise ValueError(f"unknown relation {row.relation}")
+            if not ok:
+                return False
+        return True
 
     def optimize(
         self,

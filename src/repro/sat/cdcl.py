@@ -326,6 +326,10 @@ class CDCLSolver:
         """
         if self._unsat:
             return None
+        for literal in assumptions:
+            # Sessions may assume activation literals the clause database has
+            # not mentioned yet; allocate them instead of index-erroring.
+            self._ensure_var(abs(literal))
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
