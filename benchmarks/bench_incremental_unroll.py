@@ -33,7 +33,7 @@ import time
 from repro import ABSolver, ABSolverConfig, SolverSession
 from repro.benchgen import fischer_unroll_family, watertank_unroll_family
 
-from conftest import register_report, report_rows
+from conftest import record_bench, register_report, report_rows
 
 
 def unroll_max_depth() -> int:
@@ -171,6 +171,33 @@ def _report():
         if stats.translation_cache_hits <= 0:
             failures.append(f"{name}: translation cache never hit")
     report_rows("Incremental sessions — unroll sweeps (one-shot vs session)", header, rows)
+
+    # Machine-readable trajectory record (BENCH_incremental_unroll.json):
+    # cumulative session stats plus per-family sweep times and speedups,
+    # so the perf trajectory across commits is diffable without log-diving.
+    combined = None
+    per_family = {}
+    total_wall = 0.0
+    for name, measured in sorted(_MEASURED.items()):
+        if "one-shot" not in measured or "session" not in measured:
+            continue
+        oneshot, session = measured["one-shot"], measured["session"]
+        per_family[name] = {
+            "one_shot_seconds": oneshot["seconds"],
+            "session_seconds": session["seconds"],
+            "speedup": oneshot["seconds"] / max(session["seconds"], 1e-9),
+            "verdicts": session["verdicts"],
+        }
+        total_wall += oneshot["seconds"] + session["seconds"]
+        stats = session["stats"]
+        combined = stats if combined is None else combined.merge(stats)
+    if per_family:
+        record_bench(
+            "incremental_unroll",
+            wall_seconds=total_wall,
+            stats=combined,
+            extra={"max_depth": unroll_max_depth(), "families": per_family},
+        )
     assert not failures, "; ".join(failures)
 
 

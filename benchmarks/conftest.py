@@ -6,22 +6,32 @@ paper's row labels; in addition, every module prints a side-by-side
 "paper vs measured" table at teardown so the comparison the paper makes is
 visible directly in the benchmark run output.
 
+Besides the human-readable tables, benches can queue machine-readable
+*trajectory records* via :func:`record_bench`: each becomes a
+``BENCH_<name>.json`` file (wall time, per-stage latency breakdown, counter
+snapshot, git SHA — see :mod:`repro.obs.bench_record`) written at session
+teardown, so the perf trajectory of this reproduction is diffable across
+commits and CI runs.
+
 Environment knobs:
 
 * ``REPRO_FISCHER_MAX_N`` (default 6) — largest FISCHER instance.
 * ``REPRO_SUDOKU_PUZZLES`` (default: all ten) — comma-separated puzzle ids.
 * ``REPRO_SKIP_SLOW_BASELINES`` — set to skip the bounded baseline probes.
+* ``REPRO_BENCH_RECORD_DIR`` — where ``BENCH_<name>.json`` files land
+  (default: the working directory).
 """
 
 import os
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 import pytest
 
-__all__ = ["report_rows", "register_report"]
+__all__ = ["report_rows", "register_report", "record_bench"]
 
 _COLLECTED: List[Tuple[str, List[str]]] = []
 _REPORTERS: List = []
+_BENCH_RECORDS: List[Dict[str, Any]] = []
 
 
 def register_report(callback) -> None:
@@ -32,6 +42,23 @@ def register_report(callback) -> None:
     ``--benchmark-only``, which skips plain test functions.
     """
     _REPORTERS.append(callback)
+
+
+def record_bench(
+    name: str,
+    wall_seconds=None,
+    stats=None,
+    extra: Dict[str, Any] = None,
+) -> None:
+    """Queue one benchmark trajectory record (written at session teardown).
+
+    ``stats`` is a :class:`repro.core.stats.SolveStatistics`; its counters
+    and stage histograms become the machine-readable breakdown of the
+    ``BENCH_<name>.json`` file.
+    """
+    _BENCH_RECORDS.append(
+        {"name": name, "wall_seconds": wall_seconds, "stats": stats, "extra": extra}
+    )
 
 
 def report_rows(table: str, header: List[str], rows: List[List[str]]) -> None:
@@ -67,6 +94,17 @@ def _print_reproduction_tables():
         # so `pytest benchmarks/ --benchmark-only | tee ...` keeps them.
         with open("reproduction_tables.txt", "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    if _BENCH_RECORDS:
+        from repro.obs.bench_record import write_bench_record
+
+        for record in _BENCH_RECORDS:
+            path = write_bench_record(
+                record["name"],
+                wall_seconds=record["wall_seconds"],
+                stats=record["stats"],
+                extra=record["extra"],
+            )
+            print(f"bench trajectory record: {path}")
     assert not failures, "reproduction shape assertions failed: " + "; ".join(failures)
 
 

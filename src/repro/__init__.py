@@ -16,7 +16,11 @@ representation.  This package provides:
   model -> LUSTRE -> constraints conversion work-flow;
 * :mod:`repro.baselines` — behavioural MathSAT / CVC Lite comparison solvers;
 * :mod:`repro.benchgen` — generators for every benchmark in the paper's
-  evaluation (car steering, FISCHER, Sudoku, nonlinear micro set).
+  evaluation (car steering, FISCHER, Sudoku, nonlinear micro set);
+* :mod:`repro.obs` — observability: nested span tracing (Chrome
+  ``trace_event`` / JSONL export), a typed solver event bus, the metrics
+  registry behind :class:`~repro.core.stats.SolveStatistics`, and benchmark
+  trajectory records.
 
 Quickstart::
 
@@ -44,6 +48,7 @@ from .core.registry import SolverRegistry, default_registry
 from .core.tristate import Tri, TT, FF, UNKNOWN
 from .io.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs, format_dimacs
 from .io.smtlib import parse_smtlib
+from .obs import CollectingSink, EventBus, MetricsRegistry, SpanTracer, VerboseSink
 
 __version__ = "1.0.0"
 
@@ -74,5 +79,10 @@ __all__ = [
     "write_dimacs",
     "format_dimacs",
     "parse_smtlib",
+    "SpanTracer",
+    "EventBus",
+    "CollectingSink",
+    "VerboseSink",
+    "MetricsRegistry",
     "__version__",
 ]

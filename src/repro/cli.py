@@ -14,6 +14,13 @@ Examples::
     absolver --linear difference --stats problem.cnf
     absolver --check-incremental base.cnf step1.cnf step2.cnf
     absolver --stats-json - problem.cnf
+    absolver --trace-chrome trace.json --trace spans.jsonl problem.cnf
+
+``--trace-chrome`` writes the solve as a Chrome ``trace_event`` file —
+open it in ``chrome://tracing`` or https://ui.perfetto.dev to see the
+staged pipeline (boolean / translate / linear / nonlinear / refine spans)
+as a flamegraph.  ``--verbose`` prints the typed solver events through a
+:class:`repro.obs.events.VerboseSink`.
 
 With ``--check-incremental`` the inputs form one *incremental session*:
 each file is a delta (sharing the variable numbering of its predecessors)
@@ -106,11 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json",
         metavar="PATH",
         default=None,
-        help="write the solver statistics as JSON to PATH ('-' for stdout)",
+        help="write the solver statistics as JSON to PATH ('-' for stdout); "
+        "includes per-stage latency summaries (count/total/p50/p95)",
     )
     parser.add_argument("--quiet", action="store_true", help="print only the verdict")
     parser.add_argument(
         "--verbose", action="store_true", help="trace every control-loop step"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record nested solver spans and write them as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        default=None,
+        help="record nested solver spans and write a Chrome trace_event file "
+        "to PATH (open in chrome://tracing or https://ui.perfetto.dev)",
     )
     parser.add_argument(
         "--minimize",
@@ -142,15 +163,47 @@ def _load_problem(args, path: str):
 
 
 def _emit_stats_json(args, stats) -> None:
-    """Honour ``--stats-json PATH`` ('-' writes to stdout)."""
+    """Honour ``--stats-json PATH`` ('-' writes to stdout).
+
+    On top of the flat counter/total dict the payload carries a ``stages``
+    object with per-stage latency summaries (count, total, mean, p50, p95,
+    max seconds) from the metrics histograms.
+    """
     if args.stats_json is None:
         return
-    payload = json.dumps(stats.as_dict(), indent=2, sort_keys=True)
+    record = dict(stats.as_dict())
+    record["stages"] = stats.stage_summaries()
+    payload = json.dumps(record, indent=2, sort_keys=True)
     if args.stats_json == "-":
         print(payload)
     else:
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+
+
+def _build_observability(args):
+    """Tracer + event bus implied by the CLI flags (None when unused)."""
+    from .obs.events import EventBus, VerboseSink
+    from .obs.trace import SpanTracer
+
+    tracer = None
+    if args.trace or args.trace_chrome:
+        tracer = SpanTracer(process_name="absolver")
+    bus = None
+    if args.verbose:
+        bus = EventBus()
+        bus.subscribe(VerboseSink())
+    return tracer, bus
+
+
+def _export_traces(args, tracer) -> None:
+    """Write the recorded spans to the files the trace flags name."""
+    if tracer is None:
+        return
+    if args.trace:
+        tracer.export_jsonl(args.trace)
+    if args.trace_chrome:
+        tracer.export_chrome(args.trace_chrome)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -177,23 +230,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in default_registry.available(DOMAIN_NONLINEAR):
             print(f"error: unknown nonlinear solver {name!r}", file=sys.stderr)
             return 2
-    trace = None
-    if args.verbose:
-
-        def trace(event: str, payload: dict) -> None:
-            details = " ".join(f"{key}={value}" for key, value in payload.items())
-            print(f"  [{event}] {details}")
-
+    tracer, event_bus = _build_observability(args)
     config = ABSolverConfig(
         boolean=args.boolean,
         linear=args.linear,
         nonlinear=nonlinear,
         refine_conflicts=not args.no_refine,
-        trace=trace,
+        tracer=tracer,
+        event_bus=event_bus,
     )
 
     if args.check_incremental:
-        return _run_incremental(args, config)
+        exit_code = _run_incremental(args, config)
+        _export_traces(args, tracer)
+        return exit_code
 
     problem = _load_problem(args, args.input[0])
     solver = ABSolver(config)
@@ -213,6 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.stats:
             print(f"stats: {solver.stats.as_dict()}")
         _emit_stats_json(args, solver.stats)
+        _export_traces(args, tracer)
         return 0 if count else 20
 
     result = solver.solve(problem)
@@ -227,6 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.stats:
         print(f"stats: {result.stats.as_dict()}")
     _emit_stats_json(args, result.stats)
+    _export_traces(args, tracer)
     # Exit codes follow SAT-solver convention: 10 SAT, 20 UNSAT, 0 unknown.
     if result.is_sat:
         return 10

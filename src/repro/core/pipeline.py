@@ -44,6 +44,18 @@ from ..linear.lp import LinearConstraint, LinearSystem
 from ..linear.simplex import LPResult, LPStatus
 from ..nonlinear.auglag import NLPStatus
 from ..nonlinear.refute import IntervalRefuter, RefuteStatus
+from ..obs.events import (
+    BlockingClauseAdded,
+    CandidateFound,
+    ConflictRefined,
+    EventBus,
+    IntervalRefuted,
+    LegacyTraceSink,
+    NonlinearFallback,
+    TheoryFeasible,
+    VerdictReached,
+)
+from ..obs.trace import NULL_TRACER
 from ..sat.cnf import CNF, Assignment
 from .circuit import Circuit
 from .expr import Constraint, Relation
@@ -83,9 +95,6 @@ __all__ = [
 #: was definite, and returns the clause that should actually reach the
 #: Boolean solver (sessions guard it with an activation literal).
 LemmaHook = Callable[[List[int], bool], List[int]]
-
-#: A trace callback mirroring ``ABSolverConfig.trace``.
-TraceHook = Callable[[str, dict], None]
 
 
 class BranchItem:
@@ -226,8 +235,11 @@ class CandidateGenerationStage(SolverStage):
     def next_candidate(self, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
         if self._cnf is None:
             raise RuntimeError("CandidateGenerationStage.prepare was never called")
-        stats = self._pipeline.stats
-        with stats.timed(self.name):
+        pipeline = self._pipeline
+        stats = pipeline.stats
+        with stats.timed(self.name), pipeline.tracer.span(
+            self.name, backend=self._boolean.name
+        ):
             alpha = self._boolean.solve(self._cnf, assumptions)
         stats.boolean_queries += 1
         return alpha
@@ -390,8 +402,11 @@ class LinearCheckStage(SolverStage):
         return self._linear
 
     def check(self, system: LinearSystem) -> LPResult:
-        stats = self._pipeline.stats
-        with stats.timed(self.name):
+        pipeline = self._pipeline
+        stats = pipeline.stats
+        with stats.timed(self.name), pipeline.tracer.span(
+            self.name, backend=self._linear.name, rows=len(system.rows)
+        ):
             result = self._linear.check(system)
         stats.linear_checks += 1
         hits = getattr(self._linear, "warm_start_hits", 0)
@@ -434,14 +449,18 @@ class NonlinearCheckStage(SolverStage):
         hint: Mapping[str, float],
     ) -> Optional[Dict[str, float]]:
         """Find a theory point satisfying the whole branch, or None."""
-        stats = self._pipeline.stats
+        pipeline = self._pipeline
+        stats = pipeline.stats
+        bus = pipeline.bus
         all_constraints = [item.constraint for item in branch]
         hints = [dict(hint)]
         bounds = problem.effective_bounds()
         for solver in self._chain:
             if not solver.applicable(all_constraints):
                 continue
-            with stats.timed(self.name):
+            with stats.timed(self.name), pipeline.tracer.span(
+                self.name, backend=solver.name, constraints=len(all_constraints)
+            ):
                 nlp = solver.solve(
                     all_constraints, bounds=problem.bounds or bounds, hints=hints
                 )
@@ -450,6 +469,12 @@ class NonlinearCheckStage(SolverStage):
                 nlp.point, domains, self._tolerance
             ):
                 return dict(nlp.point)
+            # "the preceding solvers thereof failed to provide a decent
+            # result" (Sec. 4): the loop falls through to the next solver.
+            if bus.active:
+                bus.publish(
+                    NonlinearFallback(solver=solver.name, status=nlp.status.value)
+                )
         return None
 
     def reset(self) -> None:
@@ -480,13 +505,23 @@ class ConflictRefinementStage(SolverStage):
         self._use_interval_refuter = use_interval_refuter
 
     def refine_linear(self, system: LinearSystem) -> Refinement:
-        stats = self._pipeline.stats
+        pipeline = self._pipeline
+        stats = pipeline.stats
         if not self._refine_conflicts:
             tags = [row.tag for row in system.rows if isinstance(row.tag, int)]
             return Refinement(tags, minimal=False)
-        with stats.timed(self.name):
+        with stats.timed(self.name), pipeline.tracer.span(
+            self.name, kind="iis", backend=self._linear.name
+        ):
             refinement = self._linear.refine(system)
         stats.conflicts_refined += 1
+        if pipeline.bus.active:
+            pipeline.bus.publish(
+                ConflictRefined(
+                    minimal=refinement.minimal,
+                    core_size=len(refinement.conflicting_tags),
+                )
+            )
         return refinement
 
     def refute_interval(
@@ -508,10 +543,16 @@ class ConflictRefinementStage(SolverStage):
                 low if low is not None else -math.inf,
                 high if high is not None else math.inf,
             )
+        pipeline = self._pipeline
         refuter = IntervalRefuter()
-        result = refuter.refute(constraints, bounds)
+        with pipeline.stats.timed(self.name), pipeline.tracer.span(
+            self.name, kind="interval", constraints=len(constraints)
+        ):
+            result = refuter.refute(constraints, bounds)
         if result.status is RefuteStatus.REFUTED:
-            self._pipeline.stats.interval_refutations += 1
+            pipeline.stats.interval_refutations += 1
+            if pipeline.bus.active:
+                pipeline.bus.publish(IntervalRefuted(branch_size=len(branch)))
             return True, [item.tag for item in branch]
         return False, []
 
@@ -539,6 +580,15 @@ class SolvePipeline:
         self.config = config
         self.registry = registry or default_registry
         self.stats = stats or SolveStatistics()
+        #: Span tracer shared by every stage; the no-op fast path unless the
+        #: config carries a real :class:`repro.obs.trace.SpanTracer`.
+        self.tracer = getattr(config, "tracer", None) or NULL_TRACER
+        #: Typed event bus.  A private bus with no sinks is inactive, and
+        #: publishers check :attr:`EventBus.active` before building events.
+        self.bus = getattr(config, "event_bus", None) or EventBus()
+        legacy_trace = getattr(config, "trace", None)
+        if legacy_trace is not None:
+            self.bus.subscribe(LegacyTraceSink(legacy_trace))
 
         boolean: BooleanSolverInterface = self.registry.create(
             DOMAIN_BOOLEAN, config.boolean, **config.boolean_options
@@ -593,7 +643,6 @@ class SolvePipeline:
         self,
         problem: ABProblem,
         assumptions: Sequence[int] = (),
-        trace: Optional[TraceHook] = None,
         record_certificate: bool = False,
         on_lemma: Optional[LemmaHook] = None,
         prior_incomplete: bool = False,
@@ -605,19 +654,20 @@ class SolvePipeline:
         literals there); ``prior_incomplete`` carries a session's memory of
         still-active indefinite blocks, which downgrade an exhausted Boolean
         space from UNSAT to UNKNOWN.
+
+        Progress is published as typed events on :attr:`bus` (including the
+        bridged legacy ``config.trace`` callback); nothing is built when no
+        sink is attached.
         """
         from .solver import ABModel, ABResult, ABStatus
 
         config = self.config
         stats = self.stats
+        bus = self.bus
         domains = problem.variable_domains()
         circuit = Circuit.from_ab_problem(problem)
         complete = not prior_incomplete
         lemmas: List[List[int]] = []
-
-        def emit(event: str, **payload) -> None:
-            if trace is not None:
-                trace(event, payload)
 
         for iteration in range(config.max_iterations):
             alpha = self.candidate.next_candidate(assumptions)
@@ -628,27 +678,36 @@ class SolvePipeline:
                         from .certify import UnsatCertificate
 
                         certificate = UnsatCertificate(lemmas)
-                    emit("verdict", status="unsat", iterations=iteration)
+                    if bus.active:
+                        bus.publish(
+                            VerdictReached(status="unsat", iterations=iteration)
+                        )
                     return ABResult(
                         ABStatus.UNSAT, stats=stats, certificate=certificate
                     )
-                emit("verdict", status="unknown", iterations=iteration)
+                if bus.active:
+                    bus.publish(
+                        VerdictReached(status="unknown", iterations=iteration)
+                    )
                 return ABResult(
                     ABStatus.UNKNOWN,
                     stats=stats,
                     reason="Boolean space exhausted, but some nonlinear "
                     "candidates could be neither satisfied nor refuted",
                 )
-            emit(
-                "boolean-model",
-                iteration=iteration,
-                defined_true=sum(
-                    1 for var in problem.definitions if alpha.get(var, False)
-                ),
-            )
+            if bus.active:
+                bus.publish(
+                    CandidateFound(
+                        iteration=iteration,
+                        defined_true=sum(
+                            1 for var in problem.definitions if alpha.get(var, False)
+                        ),
+                    )
+                )
             verdict = self.check_candidate(problem, alpha, domains)
             if verdict.feasible:
-                emit("theory-feasible", iteration=iteration)
+                if bus.active:
+                    bus.publish(TheoryFeasible(iteration=iteration))
                 model = ABModel(alpha, verdict.theory_model or {})
                 # Final guards: the circuit's output pin must be tt under the
                 # Boolean assignment, and the combined model must pass the
@@ -660,18 +719,23 @@ class SolvePipeline:
                     model.boolean, model.theory, tolerance=config.tolerance
                 ):  # pragma: no cover - internal invariant
                     raise AssertionError("accepted model failed the definition check")
-                emit("verdict", status="sat", iterations=iteration + 1)
+                if bus.active:
+                    bus.publish(
+                        VerdictReached(status="sat", iterations=iteration + 1)
+                    )
                 return ABResult(ABStatus.SAT, model=model, stats=stats)
             if not verdict.definite:
                 complete = False
             blocking = verdict.blocking or full_blocking_clause(problem, alpha)
             stats.blocking_clauses += 1
-            emit(
-                "theory-conflict",
-                iteration=iteration,
-                blocking_size=len(blocking),
-                definite=verdict.definite,
-            )
+            if bus.active:
+                bus.publish(
+                    BlockingClauseAdded(
+                        iteration=iteration,
+                        blocking_size=len(blocking),
+                        definite=verdict.definite,
+                    )
+                )
             if record_certificate:
                 lemmas.append(list(blocking))
             solver_clause = (
@@ -697,7 +761,9 @@ class SolvePipeline:
         if domains is None:
             domains = problem.variable_domains()
         stats = self.stats
-        with stats.timed(self.translation.name):
+        with stats.timed(self.translation.name), self.tracer.span(
+            self.translation.name, phase="plan"
+        ):
             plan = self.translation.plan(problem, alpha)
         if len(plan.splits) > self.config.max_equality_splits:
             raise RuntimeError(
@@ -734,7 +800,9 @@ class SolvePipeline:
         domains: Mapping[str, str],
     ) -> TheoryVerdict:
         """Check one fully-split constraint conjunction."""
-        with self.stats.timed(self.translation.name):
+        with self.stats.timed(self.translation.name), self.tracer.span(
+            self.translation.name, phase="materialize", branch=len(branch)
+        ):
             system, nonlinear_constraints = self.translation.materialize(
                 problem, branch, domains
             )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.events import CheckStarted, FramePopped, FramePushed, LemmaReused, LemmasRetracted
 from ..sat.cnf import CNF
 from .expr import Constraint
 from .pipeline import SolvePipeline
@@ -143,7 +144,11 @@ class SolverSession:
         self._frames.append(
             _Frame(len(self._frames) + 1, len(self.problem.cnf.clauses))
         )
-        return len(self._frames)
+        depth = len(self._frames)
+        self.pipeline.tracer.instant("session.push", category="session", depth=depth)
+        if self.pipeline.bus.active:
+            self.pipeline.bus.publish(FramePushed(depth=depth))
+        return depth
 
     def pop(self) -> None:
         """Retract the deepest frame: its clauses, definitions, and bounds.
@@ -154,25 +159,35 @@ class SolverSession:
         """
         if not self._frames:
             raise IndexError("pop past assertion level 0")
-        frame = self._frames.pop()
-        del self.problem.cnf.clauses[frame.clause_mark :]
-        if frame.defined_vars:
-            for var in frame.defined_vars:
-                del self.problem.definitions[var]
-                del self._def_level[var]
-            self.pipeline.definitions_removed(frame.defined_vars)
-        if frame.saved_bounds:
-            for var, previous in frame.saved_bounds.items():
-                if previous is _MISSING:
-                    self.problem.bounds.pop(var, None)
-                else:
-                    self.problem.bounds[var] = previous  # type: ignore[assignment]
-            self.pipeline.bounds_changed()
-        if frame.act_var is not None:
-            self._send_clause([-frame.act_var])
-        kept = [lemma for lemma in self._lemmas if lemma.frame is not frame]
-        self.stats.lemmas_retracted += len(self._lemmas) - len(kept)
-        self._lemmas = kept
+        with self.pipeline.tracer.span(
+            "session.pop", category="session", depth=len(self._frames)
+        ):
+            frame = self._frames.pop()
+            del self.problem.cnf.clauses[frame.clause_mark :]
+            if frame.defined_vars:
+                for var in frame.defined_vars:
+                    del self.problem.definitions[var]
+                    del self._def_level[var]
+                self.pipeline.definitions_removed(frame.defined_vars)
+            if frame.saved_bounds:
+                for var, previous in frame.saved_bounds.items():
+                    if previous is _MISSING:
+                        self.problem.bounds.pop(var, None)
+                    else:
+                        self.problem.bounds[var] = previous  # type: ignore[assignment]
+                self.pipeline.bounds_changed()
+            if frame.act_var is not None:
+                self._send_clause([-frame.act_var])
+            kept = [lemma for lemma in self._lemmas if lemma.frame is not frame]
+            retracted = len(self._lemmas) - len(kept)
+            self.stats.lemmas_retracted += retracted
+            self._lemmas = kept
+        if self.pipeline.bus.active:
+            self.pipeline.bus.publish(FramePopped(depth=len(self._frames)))
+            if retracted:
+                self.pipeline.bus.publish(
+                    LemmasRetracted(count=retracted, depth=len(self._frames))
+                )
 
     # ------------------------------------------------------------------
     # Assertions
@@ -304,6 +319,12 @@ class SolverSession:
         query_stats.clauses_reused = len(self._lemmas)
         self.pipeline.stats = query_stats
 
+        bus = self.pipeline.bus
+        if bus.active:
+            bus.publish(CheckStarted(depth=self.depth, assumptions=len(assumptions)))
+            if self._lemmas:
+                bus.publish(LemmaReused(count=len(self._lemmas)))
+
         # Every active frame needs its activation literal assumed, even if
         # the frame has no clauses yet: a lemma learned *during* this query
         # may be guarded by it, and the assumption set is fixed per query.
@@ -318,14 +339,19 @@ class SolverSession:
         self._started = True
 
         prior_incomplete = any(not lemma.definite for lemma in self._lemmas)
-        result = self.pipeline.run_query(
-            self.problem,
-            effective,
-            trace=self.config.trace,
-            record_certificate=self.config.record_certificate,
-            on_lemma=self._on_lemma,
-            prior_incomplete=prior_incomplete,
-        )
+        with self.pipeline.tracer.span(
+            "session.check",
+            category="session",
+            depth=self.depth,
+            lemmas_active=len(self._lemmas),
+        ):
+            result = self.pipeline.run_query(
+                self.problem,
+                effective,
+                record_certificate=self.config.record_certificate,
+                on_lemma=self._on_lemma,
+                prior_incomplete=prior_incomplete,
+            )
         if result.model is not None and self._act_set:
             boolean = {
                 var: value

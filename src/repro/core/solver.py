@@ -161,6 +161,8 @@ class ABSolverConfig:
         linear_options: Optional[Dict] = None,
         nonlinear_options: Optional[Dict] = None,
         trace: Optional[object] = None,
+        tracer: Optional[object] = None,
+        event_bus: Optional[object] = None,
     ):
         self.boolean = boolean
         self.linear = linear
@@ -176,8 +178,19 @@ class ABSolverConfig:
         self.nonlinear_options = dict(nonlinear_options or {})
         #: Optional callable ``trace(event: str, payload: dict)`` invoked at
         #: each control-loop step; events: ``boolean-model``,
-        #: ``theory-feasible``, ``theory-conflict``, ``verdict``.
+        #: ``theory-feasible``, ``theory-conflict``, ``verdict``.  Kept for
+        #: backward compatibility — it is bridged onto the typed event bus
+        #: via :class:`repro.obs.events.LegacyTraceSink`.
         self.trace = trace
+        #: Optional :class:`repro.obs.trace.SpanTracer`.  When set, every
+        #: pipeline stage, session ``check``/``push``/``pop``, and backend
+        #: call records a nested span (export with ``export_chrome`` /
+        #: ``export_jsonl``).  ``None`` selects the no-op fast path.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.events.EventBus` receiving the typed
+        #: solve events; the pipeline creates a private (sink-less, i.e.
+        #: inactive) bus when ``None``.
+        self.event_bus = event_bus
 
 
 class ABSolver:

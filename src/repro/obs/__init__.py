@@ -1,0 +1,80 @@
+"""repro.obs — the solver observability layer.
+
+The paper explains ABsolver's performance anecdotally ("many Boolean
+solutions need to be examined first", Sec. 5.2).  This subsystem makes the
+same diagnosis mechanical, with three cooperating pieces threaded through
+the staged pipeline (:mod:`repro.core.pipeline`):
+
+* :mod:`repro.obs.trace` — a low-overhead nested span tracer.  Every
+  pipeline stage, session ``check``/``push``/``pop``, and backend call
+  opens a span; a recorded solve exports as JSONL or as the Chrome
+  ``trace_event`` format, so it renders as a flamegraph in
+  ``chrome://tracing`` / Perfetto.  The disabled tracer
+  (:data:`~repro.obs.trace.NULL_TRACER`) is a shared no-op fast path.
+* :mod:`repro.obs.events` — a typed event bus.  The control loop publishes
+  dataclass events (:class:`~repro.obs.events.CandidateFound`,
+  :class:`~repro.obs.events.ConflictRefined`,
+  :class:`~repro.obs.events.BlockingClauseAdded`, ...) consumed by
+  pluggable sinks; the untyped ``(event, payload)`` trace callback of
+  :class:`~repro.core.solver.ABSolverConfig` survives as one such sink.
+* :mod:`repro.obs.metrics` — a metrics registry of counters and latency
+  histograms.  :class:`repro.core.stats.SolveStatistics` is a thin facade
+  over it, which is how per-stage p50/p95 summaries reach ``--stats-json``.
+
+:mod:`repro.obs.bench_record` writes per-run ``BENCH_<name>.json``
+trajectory records (wall time, per-stage breakdown, counter snapshot, git
+SHA) from the benchmark harness, making the perf trajectory of this
+reproduction machine-readable across PRs.
+"""
+
+from .trace import NULL_TRACER, NullTracer, Span, SpanTracer
+from .events import (
+    BlockingClauseAdded,
+    CandidateFound,
+    CheckStarted,
+    CollectingSink,
+    ConflictRefined,
+    EventBus,
+    FramePopped,
+    FramePushed,
+    IntervalRefuted,
+    LegacyTraceSink,
+    LemmaReused,
+    LemmasRetracted,
+    NonlinearFallback,
+    SolveEvent,
+    TheoryFeasible,
+    VerboseSink,
+    VerdictReached,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .bench_record import bench_record_payload, write_bench_record
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "EventBus",
+    "SolveEvent",
+    "CheckStarted",
+    "CandidateFound",
+    "TheoryFeasible",
+    "BlockingClauseAdded",
+    "ConflictRefined",
+    "IntervalRefuted",
+    "NonlinearFallback",
+    "LemmaReused",
+    "LemmasRetracted",
+    "FramePushed",
+    "FramePopped",
+    "VerdictReached",
+    "CollectingSink",
+    "VerboseSink",
+    "LegacyTraceSink",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "bench_record_payload",
+    "write_bench_record",
+]

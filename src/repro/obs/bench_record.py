@@ -1,0 +1,110 @@
+"""Benchmark trajectory records: per-run ``BENCH_<name>.json`` files.
+
+The benchmark harness prints paper-vs-measured tables, but across PRs the
+perf trajectory of this reproduction was only recoverable by re-reading CI
+logs.  A *trajectory record* is one small JSON file per benchmark run —
+wall time, per-stage latency breakdown, counter snapshot, git SHA — written
+next to the working directory (or wherever ``REPRO_BENCH_RECORD_DIR``
+points).  Comparing two records from different commits answers "did the
+session sweep get faster, and which stage moved?" mechanically.
+
+``benchmarks/conftest.py`` exposes a ``record_bench`` helper over
+:func:`write_bench_record`; CI uploads the resulting files as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["git_sha", "bench_record_payload", "write_bench_record"]
+
+#: Bump when the record shape changes, so downstream comparison tooling can
+#: refuse to diff incompatible schemas.
+SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_record_payload(
+    name: str,
+    wall_seconds: Optional[float] = None,
+    stats: Optional[object] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the record dict for one benchmark run.
+
+    ``stats`` is a :class:`~repro.core.stats.SolveStatistics` (or anything
+    exposing a ``registry`` :class:`~repro.obs.metrics.MetricsRegistry`);
+    its counters become the counter snapshot and its stage histograms the
+    per-stage breakdown.
+    """
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": name,
+        "recorded_unix": time.time(),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+    }
+    if wall_seconds is not None:
+        payload["wall_seconds"] = wall_seconds
+    if stats is not None:
+        registry = getattr(stats, "registry", stats)
+        payload["counters"] = {
+            cname: counter.value
+            for cname, counter in sorted(registry.counters.items())
+        }
+        payload["stages"] = {
+            hname: histogram.summary()
+            for hname, histogram in sorted(registry.histograms.items())
+        }
+    if extra:
+        payload["extra"] = extra
+    return payload
+
+
+def write_bench_record(
+    name: str,
+    wall_seconds: Optional[float] = None,
+    stats: Optional[object] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The target directory is, in order: the ``directory`` argument, the
+    ``REPRO_BENCH_RECORD_DIR`` environment variable, the current working
+    directory.  Records overwrite (one file per benchmark per checkout —
+    the git SHA inside provides the trajectory axis).
+    """
+    target_dir = directory or os.environ.get("REPRO_BENCH_RECORD_DIR") or os.getcwd()
+    os.makedirs(target_dir, exist_ok=True)
+    path = os.path.join(target_dir, f"BENCH_{name}.json")
+    payload = bench_record_payload(
+        name, wall_seconds=wall_seconds, stats=stats, extra=extra
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,289 @@
+"""Typed solver events and the bus that routes them to pluggable sinks.
+
+Before this layer existed the control loop reported progress through one
+untyped callback — ``config.trace(event: str, payload: dict)`` — that
+``cli.py`` string-formatted for ``--verbose``.  The loop now publishes
+frozen dataclass events to an :class:`EventBus`; sinks subscribe either to
+every event or to specific event types.  The legacy callback survives as
+:class:`LegacyTraceSink`, which replays each typed event as the old
+``(name, payload)`` pair (same names, same payload keys), so existing
+``ABSolverConfig(trace=...)`` users see byte-identical traffic.
+
+Publishing is near-free with no sinks attached: the pipeline checks
+:attr:`EventBus.active` before even constructing an event object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Type
+
+__all__ = [
+    "SolveEvent",
+    "CheckStarted",
+    "CandidateFound",
+    "TheoryFeasible",
+    "BlockingClauseAdded",
+    "ConflictRefined",
+    "IntervalRefuted",
+    "NonlinearFallback",
+    "LemmaReused",
+    "LemmasRetracted",
+    "FramePushed",
+    "FramePopped",
+    "VerdictReached",
+    "EventBus",
+    "CollectingSink",
+    "VerboseSink",
+    "LegacyTraceSink",
+]
+
+
+@dataclass(frozen=True)
+class SolveEvent:
+    """Base class of every solver event.
+
+    ``legacy_name`` is the event string the pre-bus ``config.trace``
+    callback used for this occurrence; :meth:`payload` rebuilds the legacy
+    payload dict (the dataclass fields, verbatim).
+    """
+
+    legacy_name = "event"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+
+
+@dataclass(frozen=True)
+class CheckStarted(SolveEvent):
+    """A session ``check`` began (depth = assertion-stack depth)."""
+
+    depth: int
+    assumptions: int
+
+    legacy_name = "check-started"
+
+
+@dataclass(frozen=True)
+class CandidateFound(SolveEvent):
+    """The Boolean solver produced the next candidate assignment."""
+
+    iteration: int
+    defined_true: int
+
+    legacy_name = "boolean-model"
+
+
+@dataclass(frozen=True)
+class TheoryFeasible(SolveEvent):
+    """A candidate survived every theory check: the solve is SAT."""
+
+    iteration: int
+
+    legacy_name = "theory-feasible"
+
+
+@dataclass(frozen=True)
+class BlockingClauseAdded(SolveEvent):
+    """A candidate failed theory checking; its blocking clause was learned."""
+
+    iteration: int
+    blocking_size: int
+    definite: bool
+
+    legacy_name = "theory-conflict"
+
+
+@dataclass(frozen=True)
+class ConflictRefined(SolveEvent):
+    """The linear backend explained an infeasibility (IIS when minimal)."""
+
+    minimal: bool
+    core_size: int
+
+    legacy_name = "conflict-refined"
+
+
+@dataclass(frozen=True)
+class IntervalRefuted(SolveEvent):
+    """The interval branch-and-prune refuter certified a nonlinear conflict."""
+
+    branch_size: int
+
+    legacy_name = "interval-refuted"
+
+
+@dataclass(frozen=True)
+class NonlinearFallback(SolveEvent):
+    """A nonlinear solver in the chain failed; the loop moves to the next.
+
+    This is the paper's "if ... the preceding solvers thereof failed to
+    provide a decent result" (Sec. 4) made visible.
+    """
+
+    solver: str
+    status: str
+
+    legacy_name = "nonlinear-fallback"
+
+
+@dataclass(frozen=True)
+class LemmaReused(SolveEvent):
+    """A ``check`` started with theory lemmas still active from earlier ones."""
+
+    count: int
+
+    legacy_name = "lemma-reused"
+
+
+@dataclass(frozen=True)
+class LemmasRetracted(SolveEvent):
+    """A ``pop`` retracted theory lemmas guarded by the dropped frame."""
+
+    count: int
+    depth: int
+
+    legacy_name = "lemmas-retracted"
+
+
+@dataclass(frozen=True)
+class FramePushed(SolveEvent):
+    """A session opened a new assertion frame."""
+
+    depth: int
+
+    legacy_name = "frame-pushed"
+
+
+@dataclass(frozen=True)
+class FramePopped(SolveEvent):
+    """A session retracted its deepest assertion frame."""
+
+    depth: int
+
+    legacy_name = "frame-popped"
+
+
+@dataclass(frozen=True)
+class VerdictReached(SolveEvent):
+    """The query finished: sat / unsat / unknown after N iterations."""
+
+    status: str
+    iterations: int
+
+    legacy_name = "verdict"
+
+
+Sink = Callable[[SolveEvent], None]
+
+
+class EventBus:
+    """Routes published events to subscribed sinks.
+
+    A sink is any callable taking one event.  Subscribing with no event
+    types means "everything"; with types, only those exact classes are
+    delivered (no subclass matching — the event taxonomy is flat).
+    """
+
+    __slots__ = ("_all", "_typed")
+
+    def __init__(self) -> None:
+        self._all: List[Sink] = []
+        self._typed: Dict[Type[SolveEvent], List[Sink]] = {}
+
+    @property
+    def active(self) -> bool:
+        """Whether any sink is attached (publishers fast-path on False)."""
+        return bool(self._all or self._typed)
+
+    def subscribe(self, sink: Sink, *event_types: Type[SolveEvent]) -> Sink:
+        """Attach ``sink``; returns it (handy for decorator-style use)."""
+        if event_types:
+            for event_type in event_types:
+                self._typed.setdefault(event_type, []).append(sink)
+        else:
+            self._all.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        """Detach ``sink`` from every subscription it appears in."""
+        if sink in self._all:
+            self._all.remove(sink)
+        for sinks in list(self._typed.values()):
+            if sink in sinks:
+                sinks.remove(sink)
+        self._typed = {t: s for t, s in self._typed.items() if s}
+
+    def publish(self, event: SolveEvent) -> None:
+        for sink in self._all:
+            sink(event)
+        typed = self._typed.get(type(event))
+        if typed:
+            for sink in typed:
+                sink(event)
+
+
+class CollectingSink:
+    """Keeps every delivered event in order (tests, programmatic analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[SolveEvent] = []
+
+    def __call__(self, event: SolveEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, *event_types: Type[SolveEvent]) -> List[SolveEvent]:
+        return [event for event in self.events if type(event) in event_types]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class VerboseSink:
+    """Human-readable event log — the engine behind ``absolver --verbose``.
+
+    The line format is the one the old ad-hoc callback printed
+    (``  [boolean-model] iteration=0 defined_true=3``), so existing
+    workflows that grep the verbose output keep working.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream
+
+    def __call__(self, event: SolveEvent) -> None:
+        details = " ".join(
+            f"{key}={value}" for key, value in event.payload().items()
+        )
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(f"  [{event.legacy_name}] {details}", file=stream)
+
+
+class LegacyTraceSink:
+    """Adapts the bus to the pre-bus ``trace(event, payload)`` callback.
+
+    Only the event types the old control loop emitted are forwarded by
+    default, so a legacy callback sees exactly the traffic it always did;
+    pass ``all_events=True`` to also receive the new event types under
+    their ``legacy_name``.
+    """
+
+    #: The event classes whose legacy names the old loop emitted.
+    LEGACY_EVENTS: Tuple[Type[SolveEvent], ...] = (
+        CandidateFound,
+        TheoryFeasible,
+        BlockingClauseAdded,
+        VerdictReached,
+    )
+
+    def __init__(self, callback: Callable[[str, dict], None], all_events: bool = False):
+        self._callback = callback
+        self._all = all_events
+
+    def __call__(self, event: SolveEvent) -> None:
+        if self._all or type(event) in self.LEGACY_EVENTS:
+            self._callback(event.legacy_name, event.payload())

@@ -1,0 +1,157 @@
+"""Counters and latency histograms behind :class:`~repro.core.stats.SolveStatistics`.
+
+The registry is deliberately small: named monotone :class:`Counter`\\ s and
+:class:`Histogram`\\ s of raw observations (seconds, for the stage timers).
+It exists to fix two limits of the old flat statistics object:
+
+* **Extensibility** — ``SolveStatistics.merge()`` used to iterate a
+  hard-coded ``_COUNTERS`` tuple, silently dropping any counter a newer
+  component registered outside it.  Registry merge walks *the other side's
+  registered names*, so unknown counters aggregate instead of vanishing.
+* **Distributions** — per-stage wall clock used to be a single
+  accumulated float per stage.  Histograms keep every observation, so
+  ``--stats-json`` can report p50/p95 latency summaries and the benchmark
+  trajectory records a real per-stage breakdown.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A named integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named latency histogram keeping raw observations.
+
+    Observations are wall-clock seconds (the solver's use), but nothing
+    here assumes a unit.  Quantiles use the nearest-rank method on the
+    sorted observations — exact, and the observation counts per solve are
+    small enough that keeping raw values beats bucketing.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]; 0.0 when empty."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The fixed summary shape used by ``--stats-json`` and BENCH records."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.values) if self.values else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, total={self.total:.6f})"
+
+
+class MetricsRegistry:
+    """Named counters + histograms with lossless merge."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- counters -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Fetch (registering on first use) the counter called ``name``."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counter(name).value += amount
+
+    def counter_value(self, name: str) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    # -- histograms -----------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        """Fetch (registering on first use) the histogram called ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- aggregation ----------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, losslessly.
+
+        Every counter and histogram registered on *either* side survives:
+        the iteration is over ``other``'s registered names (plus whatever
+        already exists here), so a counter a newer component invented is
+        aggregated rather than dropped.  Returns ``self`` for chaining.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).value += counter.value
+        for name, histogram in other.histograms.items():
+            self.histogram(name).values.extend(histogram.values)
+        return self
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready dump: counter values + histogram summaries."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,298 @@
+"""A low-overhead nested span tracer with Chrome ``trace_event`` export.
+
+The solver stack opens a span around every unit of work worth seeing on a
+flamegraph: each :class:`~repro.core.interface.SolverStage` activation,
+each session ``check``/``push``/``pop``, and each call into a linear or
+nonlinear backend.  Spans nest (a ``session.check`` span contains
+``boolean`` spans, which sit next to ``translate``/``linear``/``nonlinear``
+/``refine`` spans), carry a small ``args`` payload (backend name, branch
+size, ...), and survive exceptions — the span is closed and flagged, the
+stack unwinds correctly.
+
+Two exports:
+
+* :meth:`SpanTracer.export_jsonl` — one JSON object per completed span, in
+  completion order; trivially greppable / pandas-loadable.
+* :meth:`SpanTracer.export_chrome` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``, ``ph: "X"`` complete events with
+  microsecond ``ts``/``dur``).  Open the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev and the solve renders as a flamegraph.
+
+Disabled tracing must be near-free because the spans sit on solver hot
+paths: :data:`NULL_TRACER` is a shared :class:`NullTracer` whose ``span()``
+returns one reusable no-op context manager — no allocation, no clock read.
+``tests/test_obs.py`` guards the overhead with a dedicated benchmark test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One completed (or still-open) span: a named, timed, nested interval.
+
+    Timestamps are microseconds relative to the owning tracer's epoch, the
+    unit the Chrome ``trace_event`` format uses natively.
+    """
+
+    __slots__ = ("name", "category", "start_us", "duration_us", "depth", "tid", "args", "error")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start_us: float,
+        depth: int,
+        tid: int,
+        args: Optional[Dict[str, Any]],
+    ):
+        self.name = name
+        self.category = category
+        self.start_us = start_us
+        self.duration_us = 0.0
+        self.depth = depth
+        self.tid = tid
+        self.args = args
+        self.error = False
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ts": self.start_us,
+            "dur": self.duration_us,
+            "depth": self.depth,
+            "tid": self.tid,
+        }
+        if self.args:
+            payload["args"] = self.args
+        if self.error:
+            payload["error"] = True
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"ts={self.start_us:.1f}us, dur={self.duration_us:.1f}us)"
+        )
+
+
+class _SpanHandle:
+    """Context manager for one live span of a :class:`SpanTracer`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self._span, exc_type is not None)
+
+
+class _NullHandle:
+    """The reusable no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a shared no-op.
+
+    This is the object on the solver hot path by default, so it does the
+    absolute minimum: ``span()`` hands back one preallocated context
+    manager and ``instant()`` returns immediately.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    spans: Tuple[Span, ...] = ()
+
+    def span(self, name: str, category: str = "solver", **args: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def instant(self, name: str, category: str = "event", **args: Any) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (shared, stateless, allocation-free).
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Records nested spans; exports JSONL and Chrome ``trace_event`` JSON.
+
+    Thread-compatible: spans carry the recording thread's id (mapped to a
+    small ``tid``), and per-thread stacks keep nesting depths correct when
+    a future backend solves on a worker thread.  All bookkeeping is plain
+    ``list.append`` — tracing a solve costs two clock reads and one small
+    allocation per span.
+    """
+
+    enabled = True
+
+    def __init__(self, process_name: str = "absolver"):
+        self.process_name = process_name
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        self._epoch = time.perf_counter()
+        self._stacks: Dict[int, List[Span]] = {}
+        self._tids: Dict[int, int] = {}
+
+    # -- recording ------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _tid(self, ident: int) -> int:
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[ident] = tid
+        return tid
+
+    def span(self, name: str, category: str = "solver", **args: Any) -> _SpanHandle:
+        """Open a nested span; use as a context manager."""
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = self._stacks[ident] = []
+        span = Span(
+            name, category, self._now_us(), len(stack), self._tid(ident), args or None
+        )
+        stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span, errored: bool) -> None:
+        span.duration_us = self._now_us() - span.start_us
+        span.error = errored
+        stack = self._stacks[threading.get_ident()]
+        # Exception-safe unwinding: drop everything above the closing span
+        # (a span abandoned by a non-local exit must not corrupt depths).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self.spans.append(span)
+
+    def instant(self, name: str, category: str = "event", **args: Any) -> None:
+        """Record a zero-duration marker (rendered as an arrow in Perfetto)."""
+        ident = threading.get_ident()
+        depth = len(self._stacks.get(ident, ()))
+        self.instants.append(
+            Span(name, category, self._now_us(), depth, self._tid(ident), args or None)
+        )
+
+    @property
+    def open_depth(self) -> int:
+        """Nesting depth of the calling thread (0 = no open span)."""
+        return len(self._stacks.get(threading.get_ident(), ()))
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._stacks.clear()
+
+    # -- export ---------------------------------------------------------
+    def to_chrome_events(self) -> List[Dict[str, Any]]:
+        """The ``traceEvents`` list: complete ("X") + instant ("i") events.
+
+        Events are sorted by timestamp, so ``ts`` is monotonic in the file
+        (the viewer does not require it, but diffing two traces does).
+        """
+        pid = os.getpid()
+        events: List[Tuple[float, Dict[str, Any]]] = []
+        for span in self.spans:
+            events.append(
+                (
+                    span.start_us,
+                    {
+                        "name": span.name,
+                        "cat": span.category,
+                        "ph": "X",
+                        "ts": span.start_us,
+                        "dur": span.duration_us,
+                        "pid": pid,
+                        "tid": span.tid,
+                        "args": dict(span.args or {}, **({"error": True} if span.error else {})),
+                    },
+                )
+            )
+        for mark in self.instants:
+            events.append(
+                (
+                    mark.start_us,
+                    {
+                        "name": mark.name,
+                        "cat": mark.category,
+                        "ph": "i",
+                        "s": "t",
+                        "ts": mark.start_us,
+                        "pid": pid,
+                        "tid": mark.tid,
+                        "args": dict(mark.args or {}),
+                    },
+                )
+            )
+        ordered = [event for _, event in sorted(events, key=lambda pair: pair[0])]
+        metadata: Dict[str, Any] = {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": self.process_name},
+        }
+        return [metadata] + ordered
+
+    def export_chrome(self, target: Union[str, IO[str]]) -> None:
+        """Write the Chrome ``trace_event`` JSON object format."""
+        payload = {
+            "traceEvents": self.to_chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": f"repro.obs {self.process_name}"},
+        }
+        if hasattr(target, "write"):
+            json.dump(payload, target)  # type: ignore[arg-type]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+                json.dump(payload, handle)
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for span in self.spans:
+            yield json.dumps(span.as_dict(), sort_keys=True)
+        for mark in self.instants:
+            yield json.dumps(dict(mark.as_dict(), ph="i"), sort_keys=True)
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> None:
+        """Write one JSON object per span, in completion order."""
+        if hasattr(target, "write"):
+            for line in self.iter_jsonl():
+                target.write(line + "\n")  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+                for line in self.iter_jsonl():
+                    handle.write(line + "\n")
