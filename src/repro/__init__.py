@@ -49,6 +49,7 @@ from .core.tristate import Tri, TT, FF, UNKNOWN
 from .io.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs, format_dimacs
 from .io.smtlib import parse_smtlib
 from .obs import CollectingSink, EventBus, MetricsRegistry, SpanTracer, VerboseSink
+from .parallel import ParallelSolver
 
 __version__ = "1.0.0"
 
@@ -67,6 +68,7 @@ __all__ = [
     "ABSolverConfig",
     "ABStatus",
     "SolverSession",
+    "ParallelSolver",
     "Circuit",
     "SolverRegistry",
     "default_registry",

@@ -134,6 +134,35 @@ def build_parser() -> argparse.ArgumentParser:
         "to PATH (open in chrome://tracing or https://ui.perfetto.dev)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve across N worker processes (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--parallel",
+        default="cube",
+        choices=("cube", "portfolio"),
+        help="parallel mode with --jobs > 1: cube-and-conquer partitioning "
+        "or a diversified portfolio race (default: cube)",
+    )
+    parser.add_argument(
+        "--cube-depth",
+        type=int,
+        default=None,
+        metavar="K",
+        help="split into 2^K cubes (default: smallest K covering --jobs)",
+    )
+    parser.add_argument(
+        "--parallel-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for a parallel solve; on expiry workers are "
+        "cancelled (then terminated) and the verdict is unknown",
+    )
+    parser.add_argument(
         "--minimize",
         metavar="EXPR",
         default=None,
@@ -240,16 +269,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         event_bus=event_bus,
     )
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     if args.check_incremental:
         exit_code = _run_incremental(args, config)
         _export_traces(args, tracer)
         return exit_code
 
     problem = _load_problem(args, args.input[0])
-    solver = ABSolver(config)
 
     if args.minimize is not None or args.maximize is not None:
         return _run_optimization(args, problem)
+
+    if args.jobs > 1:
+        return _run_parallel(args, config, problem)
+
+    solver = ABSolver(config)
 
     started = time.perf_counter()
     if args.all_models:
@@ -285,6 +322,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     if result.is_unsat:
         return 20
     return 0
+
+
+def _run_parallel(args, config, problem) -> int:
+    """``--jobs N``: route the solve through the parallel coordinator.
+
+    Chrome traces are the *merged* coordinator + worker events (one lane
+    per worker process); JSONL span traces stay coordinator-only.
+    """
+    from .parallel import ParallelSolver
+
+    solver = ParallelSolver(
+        config=config,
+        jobs=args.jobs,
+        mode=args.parallel,
+        cube_depth=args.cube_depth,
+        timeout=args.parallel_timeout,
+    )
+    started = time.perf_counter()
+    with solver:
+        if args.all_models:
+            models = solver.all_solutions(problem, limit=args.max_models)
+            elapsed = time.perf_counter() - started
+            for count, model in enumerate(models, start=1):
+                if not args.quiet:
+                    print(
+                        f"model {count}: boolean={model.boolean} theory={model.theory}"
+                    )
+            print(f"{len(models)} model(s) in {elapsed:.3f}s")
+            stats = solver.last_stats
+            exit_code = 0 if models else 20
+        else:
+            result = solver.solve(problem)
+            elapsed = time.perf_counter() - started
+            print(f"{result.status.value} ({elapsed:.3f}s)")
+            if result.is_sat and not args.quiet:
+                assert result.model is not None
+                print(f"boolean: {result.model.boolean}")
+                print(f"theory:  {result.model.theory}")
+            if result.status is ABStatus.UNKNOWN and result.reason:
+                print(f"reason: {result.reason}")
+            if not args.quiet:
+                summary = ", ".join(
+                    f"{label}={status}" for label, status in solver.last_tasks
+                )
+                print(f"parallel: mode={args.parallel} jobs={args.jobs} [{summary}]")
+            stats = result.stats
+            exit_code = 10 if result.is_sat else 20 if result.is_unsat else 0
+        if args.stats and stats is not None:
+            print(f"stats: {stats.as_dict()}")
+        if stats is not None:
+            _emit_stats_json(args, stats)
+        if args.trace and config.tracer is not None:
+            config.tracer.export_jsonl(args.trace)
+        if args.trace_chrome:
+            solver.export_chrome(args.trace_chrome)
+    return exit_code
 
 
 def _run_incremental(args, config) -> int:

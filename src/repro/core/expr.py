@@ -96,6 +96,21 @@ class Expr:
 
     __slots__ = ()
 
+    # -- pickling -------------------------------------------------------
+    # Subclasses forbid attribute assignment (immutability), which breaks
+    # the default slot-state restore; route it through object.__setattr__
+    # so expressions can cross process boundaries (parallel solving).
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for cls in type(self).__mro__
+            for slot in getattr(cls, "__slots__", ())
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- construction via operators ------------------------------------
     def __add__(self, other: Union["Expr", Number]) -> "Expr":
         return Add(self, _coerce(other))

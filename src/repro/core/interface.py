@@ -238,13 +238,20 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
         if self._unsat:
             return None
         if self._solver is None:
-            self._result = Preprocessor(frozen=self._frozen).run(cnf)
+            # Freeze the first query's assumption variables alongside the
+            # declared ones: pure-literal and BVE removal are only
+            # satisfiability-preserving, so a variable that will be pinned
+            # from outside must survive preprocessing untouched.
+            frozen = self._frozen | {abs(literal) for literal in assumptions}
+            self._result = Preprocessor(frozen=frozen).run(cnf)
             if self._result.unsat:
                 self._unsat = True
                 return None
             self._solver = CDCLSolver(self._result.cnf, **self._options)
         # Assumptions must be translated through the preprocessing: forced
-        # variables are evaluated here, eliminated ones cannot be assumed.
+        # (implied) variables are evaluated here; removed ones — whether by
+        # elimination or a pure-literal choice — cannot be assumed, because
+        # the original formula may have models of either polarity.
         effective: List[int] = []
         eliminated = {var for var, _ in self._result.eliminated}
         for literal in assumptions:
@@ -253,10 +260,10 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
                 if self._result.forced[var] != (literal > 0):
                     return None  # assumption contradicts a level-0 fact
                 continue
-            if var in eliminated:
+            if var in eliminated or var in self._result.chosen:
                 raise RuntimeError(
-                    f"assumption mentions eliminated variable {var}; declare "
-                    "it frozen via set_frozen_variables before solving"
+                    f"assumption mentions preprocessed-away variable {var}; "
+                    "declare it frozen via set_frozen_variables before solving"
                 )
             effective.append(literal)
         model = self._solver.solve(effective)
@@ -279,10 +286,10 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
                 if self._result.forced[var] == (literal > 0):
                     return  # clause already satisfied at level 0
                 continue  # literal is false; drop it
-            if var in eliminated:
+            if var in eliminated or var in self._result.chosen:
                 raise RuntimeError(
-                    f"clause mentions eliminated variable {var}; declare it "
-                    "frozen via set_frozen_variables before solving"
+                    f"clause mentions preprocessed-away variable {var}; "
+                    "declare it frozen via set_frozen_variables before solving"
                 )
             remaining.append(literal)
         if not remaining:

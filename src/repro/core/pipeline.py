@@ -346,6 +346,7 @@ class TheoryTranslationStage(SolverStage):
     def _get_bound_rows(self, problem: ABProblem) -> List[LinearConstraint]:
         """Declared variable bounds become untagged rows of every LP."""
         if self._bound_rows is not None:
+            self._pipeline.stats.bound_rows_cache_hits += 1
             return self._bound_rows
         rows: List[LinearConstraint] = []
         for var, (low, high) in problem.bounds.items():
@@ -544,7 +545,9 @@ class ConflictRefinementStage(SolverStage):
                 high if high is not None else math.inf,
             )
         pipeline = self._pipeline
-        refuter = IntervalRefuter()
+        refuter = IntervalRefuter(
+            **(getattr(pipeline.config, "refuter_options", None) or {})
+        )
         with pipeline.stats.timed(self.name), pipeline.tracer.span(
             self.name, kind="interval", constraints=len(constraints)
         ):
@@ -590,8 +593,15 @@ class SolvePipeline:
         if legacy_trace is not None:
             self.bus.subscribe(LegacyTraceSink(legacy_trace))
 
+        boolean_options = dict(config.boolean_options)
+        # A config-level seed reaches CDCL-family solvers as reproducible
+        # VSIDS/phase diversification; other Boolean backends (plain DPLL)
+        # take no seed parameter and stay deterministic.
+        seed = getattr(config, "seed", None)
+        if seed is not None and config.boolean in ("cdcl", "cdcl-pre", "lsat"):
+            boolean_options.setdefault("seed", seed)
         boolean: BooleanSolverInterface = self.registry.create(
-            DOMAIN_BOOLEAN, config.boolean, **config.boolean_options
+            DOMAIN_BOOLEAN, config.boolean, **boolean_options
         )
         linear: LinearSolverInterface = self.registry.create(
             DOMAIN_LINEAR, config.linear, **config.linear_options
@@ -618,6 +628,9 @@ class SolvePipeline:
             self.nonlinear,
             self.refinement,
         )
+        #: Memoized defined-variable order of :meth:`fallback_blocking_clause`
+        #: (``None`` = recompute; invalidated on definition changes).
+        self._blocking_vars: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # Structural-change hooks (driven by SolverSession)
@@ -627,14 +640,33 @@ class SolvePipeline:
 
     def definitions_added(self) -> None:
         self.translation.definitions_changed()
+        self._blocking_vars = None
 
     def definitions_removed(self, variables: Sequence[int]) -> None:
         self.translation.invalidate_definitions(variables)
         self.linear.reset()
+        self._blocking_vars = None
 
     def bounds_changed(self) -> None:
         self.translation.bounds_changed()
         self.linear.reset()
+
+    # ------------------------------------------------------------------
+    # Candidate blocking (hot path of all-models enumeration)
+    # ------------------------------------------------------------------
+    def fallback_blocking_clause(self, problem: ABProblem, alpha: Assignment) -> List[int]:
+        """Like :func:`full_blocking_clause`, with the defined-variable
+        enumeration memoized per problem (every blocked candidate of an
+        all-models run walks the same definition set)."""
+        variables = self._blocking_vars
+        if variables is None:
+            self._blocking_vars = variables = tuple(problem.definitions)
+        else:
+            self.stats.blocking_template_hits += 1
+        if not variables:  # no definitions: block the full assignment
+            return [(-var if value else var) for var, value in alpha.items()]
+        get = alpha.get
+        return [(-var if get(var, False) else var) for var in variables]
 
     # ------------------------------------------------------------------
     # Query execution
@@ -646,6 +678,7 @@ class SolvePipeline:
         record_certificate: bool = False,
         on_lemma: Optional[LemmaHook] = None,
         prior_incomplete: bool = False,
+        poll: Optional[Callable[[], bool]] = None,
     ):
         """One full solve over the current problem; returns an ``ABResult``.
 
@@ -654,6 +687,11 @@ class SolvePipeline:
         literals there); ``prior_incomplete`` carries a session's memory of
         still-active indefinite blocks, which downgrade an exhausted Boolean
         space from UNSAT to UNKNOWN.
+
+        ``poll`` is called once per control-loop iteration; returning False
+        abandons the query with an UNKNOWN "cancelled" result.  Parallel
+        workers use it both as their cancellation check and as the point
+        where foreign lemmas received from other workers are injected.
 
         Progress is published as typed events on :attr:`bus` (including the
         bridged legacy ``config.trace`` callback); nothing is built when no
@@ -670,6 +708,12 @@ class SolvePipeline:
         lemmas: List[List[int]] = []
 
         for iteration in range(config.max_iterations):
+            if poll is not None and not poll():
+                if bus.active:
+                    bus.publish(
+                        VerdictReached(status="unknown", iterations=iteration)
+                    )
+                return ABResult(ABStatus.UNKNOWN, stats=stats, reason="cancelled")
             alpha = self.candidate.next_candidate(assumptions)
             if alpha is None:
                 if complete:
@@ -726,7 +770,7 @@ class SolvePipeline:
                 return ABResult(ABStatus.SAT, model=model, stats=stats)
             if not verdict.definite:
                 complete = False
-            blocking = verdict.blocking or full_blocking_clause(problem, alpha)
+            blocking = verdict.blocking or self.fallback_blocking_clause(problem, alpha)
             stats.blocking_clauses += 1
             if bus.active:
                 bus.publish(

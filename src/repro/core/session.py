@@ -121,6 +121,11 @@ class SolverSession:
         #: returned result's ``stats``).
         self.last_stats: Optional[SolveStatistics] = None
 
+        #: Optional callback ``listener(clause, definite)`` invoked for every
+        #: theory lemma this session derives (before guarding).  Parallel
+        #: workers stream definite lemmas to the coordinator through it.
+        self.lemma_listener = None
+
         self._frames: List[_Frame] = []
         self._lemmas: List[_Lemma] = []
         self._def_level: Dict[int, int] = {}  # boolean var -> defining frame level
@@ -301,16 +306,44 @@ class SolverSession:
         if problem.name and self.problem.name == "session":
             self.problem.name = problem.name
 
+    def import_lemmas(self, clauses: Sequence[Sequence[int]], definite: bool = True) -> int:
+        """Adopt theory lemmas derived elsewhere (e.g. by a parallel worker).
+
+        Each clause must be over this session's variable numbering.  It is
+        guarded exactly like a locally-derived lemma — by the activation
+        variable of the deepest frame whose definitions or bounds it rests
+        on — so a later ``pop`` retracts it with that frame and soundness
+        stays frame-local.  Only *definite* lemmas should be imported as
+        UNSAT evidence; importing with ``definite=False`` marks the session
+        incomplete like a local indefinite block would.
+
+        Returns the number of lemmas adopted (also counted in the session
+        stats as ``lemmas_imported``).
+        """
+        imported = 0
+        for clause in clauses:
+            guarded = self._on_lemma(list(clause), definite)
+            self._send_clause(guarded)
+            imported += 1
+        if imported:
+            self.stats.registry.counter("lemmas_imported").value += imported
+        return imported
+
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
-    def check(self, assumptions: Sequence[int] = ()):
+    def check(self, assumptions: Sequence[int] = (), poll=None):
         """Decide satisfiability of the currently asserted stack.
 
         ``assumptions`` are extra literals forced for this query only (on
         top of the frames' activation literals).  Returns an
         :class:`~repro.core.solver.ABResult`; its ``stats`` cover this query
         and are also merged into the session-wide :attr:`stats`.
+
+        ``poll`` (optional, zero-arg, returns bool) is consulted once per
+        pipeline iteration; returning False cancels the query (UNKNOWN,
+        reason "cancelled").  Parallel workers drain their shared-lemma
+        queue inside it.
         """
         from .solver import ABModel, ABResult, ABStatus
 
@@ -351,6 +384,7 @@ class SolverSession:
                 record_certificate=self.config.record_certificate,
                 on_lemma=self._on_lemma,
                 prior_incomplete=prior_incomplete,
+                poll=poll,
             )
         if result.model is not None and self._act_set:
             boolean = {
@@ -405,6 +439,8 @@ class SolverSession:
         """Pipeline hook: guard and register every learned theory lemma."""
         frame = self._lemma_frame(clause)
         self._lemmas.append(_Lemma(list(clause), frame, definite))
+        if self.lemma_listener is not None:
+            self.lemma_listener(list(clause), definite)
         if frame is None:
             return clause
         return clause + [-self._activation_var(frame)]

@@ -81,6 +81,11 @@ class ABModel:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ABModel is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks default slot-state pickling; rebuild through
+        # the constructor instead (models travel between parallel workers).
+        return (ABModel, (self._boolean, self._theory))
+
     def __repr__(self) -> str:
         return f"ABModel(boolean={self._boolean}, theory={self._theory})"
 
@@ -160,6 +165,8 @@ class ABSolverConfig:
         boolean_options: Optional[Dict] = None,
         linear_options: Optional[Dict] = None,
         nonlinear_options: Optional[Dict] = None,
+        refuter_options: Optional[Dict] = None,
+        seed: Optional[int] = None,
         trace: Optional[object] = None,
         tracer: Optional[object] = None,
         event_bus: Optional[object] = None,
@@ -176,6 +183,16 @@ class ABSolverConfig:
         self.boolean_options = dict(boolean_options or {})
         self.linear_options = dict(linear_options or {})
         self.nonlinear_options = dict(nonlinear_options or {})
+        #: Extra keyword arguments for the interval branch-and-prune refuter
+        #: (e.g. ``max_boxes`` — the contraction budget portfolio configs
+        #: diversify over).
+        self.refuter_options = dict(refuter_options or {})
+        #: Seed for the Boolean solver's randomized diversification (VSIDS
+        #: jitter + initial phases).  ``None`` keeps the historical fully
+        #: deterministic heuristics; any int is reproducible.  Only CDCL-family
+        #: solvers accept it; it is injected in
+        #: :class:`repro.core.pipeline.SolvePipeline`.
+        self.seed = seed
         #: Optional callable ``trace(event: str, payload: dict)`` invoked at
         #: each control-loop step; events: ``boolean-model``,
         #: ``theory-feasible``, ``theory-conflict``, ``verdict``.  Kept for

@@ -69,6 +69,8 @@ class SolveStatistics:
         "translation_cache_misses",
         "warm_start_hits",
         "lemmas_retracted",
+        "bound_rows_cache_hits",
+        "blocking_template_hits",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:

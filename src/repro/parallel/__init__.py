@@ -1,0 +1,26 @@
+"""Parallel solving: cube-and-conquer, portfolio racing, lemma sharing.
+
+The public face is :class:`~repro.parallel.coordinator.ParallelSolver`;
+the rest of the package is its machinery — the picklable task protocol
+(:mod:`~repro.parallel.tasks`), the cube splitter
+(:mod:`~repro.parallel.cubes`), the portfolio config ladder
+(:mod:`~repro.parallel.portfolio`), and the worker-process entry point
+(:mod:`~repro.parallel.worker`).
+"""
+
+from .coordinator import ParallelSolver, default_cube_depth
+from .cubes import build_cubes, generate_cubes, pick_split_variables
+from .portfolio import portfolio_specs
+from .tasks import ConfigSpec, SolveTask, WorkerOutcome
+
+__all__ = [
+    "ParallelSolver",
+    "ConfigSpec",
+    "SolveTask",
+    "WorkerOutcome",
+    "portfolio_specs",
+    "pick_split_variables",
+    "generate_cubes",
+    "build_cubes",
+    "default_cube_depth",
+]

@@ -1,0 +1,245 @@
+"""The picklable task protocol between the coordinator and its workers.
+
+Everything that crosses the process boundary lives here:
+
+* :class:`ConfigSpec` — a plain-data mirror of
+  :class:`~repro.core.solver.ABSolverConfig` without the unpicklable
+  observability objects (tracer, event bus, legacy trace callback).  The
+  worker rebuilds a real config — attaching its *own* per-process
+  :class:`~repro.obs.trace.SpanTracer` when tracing was requested.
+* :class:`SolveTask` — one unit of work: the problem, the cube (assumption
+  literals for ``check`` tasks, unit clauses for ``all_models`` shards),
+  the config to run it under, and the generation stamp used for
+  cancellation (a task whose ``gen`` no longer matches the shared
+  generation counter is skipped or abandoned).
+* :class:`WorkerOutcome` — the reply: verdict, witness model(s), the
+  worker's :class:`~repro.core.stats.SolveStatistics`, and its Chrome
+  trace events, ready for lossless merging on the coordinator side.
+
+Messages on the result queue are tagged tuples: ``("result", outcome)``
+and ``("lemma", gen, worker_id, clause)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ConfigSpec", "SolveTask", "WorkerOutcome"]
+
+
+class ConfigSpec:
+    """Picklable solver configuration (the portfolio's unit of diversity)."""
+
+    __slots__ = (
+        "boolean",
+        "linear",
+        "nonlinear",
+        "refine_conflicts",
+        "use_interval_refuter",
+        "max_iterations",
+        "max_equality_splits",
+        "tolerance",
+        "boolean_options",
+        "linear_options",
+        "nonlinear_options",
+        "refuter_options",
+        "seed",
+        "label",
+    )
+
+    def __init__(
+        self,
+        boolean: str = "cdcl",
+        linear: str = "simplex",
+        nonlinear: Sequence[str] = ("newton", "auglag"),
+        refine_conflicts: bool = True,
+        use_interval_refuter: bool = True,
+        max_iterations: int = 200_000,
+        max_equality_splits: int = 16,
+        tolerance: float = 1e-6,
+        boolean_options: Optional[Dict[str, Any]] = None,
+        linear_options: Optional[Dict[str, Any]] = None,
+        nonlinear_options: Optional[Dict[str, Any]] = None,
+        refuter_options: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        label: str = "base",
+    ):
+        self.boolean = boolean
+        self.linear = linear
+        self.nonlinear = tuple(nonlinear)
+        self.refine_conflicts = refine_conflicts
+        self.use_interval_refuter = use_interval_refuter
+        self.max_iterations = max_iterations
+        self.max_equality_splits = max_equality_splits
+        self.tolerance = tolerance
+        self.boolean_options = dict(boolean_options or {})
+        self.linear_options = dict(linear_options or {})
+        self.nonlinear_options = dict(nonlinear_options or {})
+        self.refuter_options = dict(refuter_options or {})
+        self.seed = seed
+        #: Human-readable portfolio label ("base", "difference", ...);
+        #: shows up in stats, events, and the scaling bench tables.
+        self.label = label
+
+    @classmethod
+    def from_config(cls, config, label: str = "base") -> "ConfigSpec":
+        """Strip an ``ABSolverConfig`` down to its picklable payload."""
+        return cls(
+            boolean=config.boolean,
+            linear=config.linear,
+            nonlinear=config.nonlinear,
+            refine_conflicts=config.refine_conflicts,
+            use_interval_refuter=config.use_interval_refuter,
+            max_iterations=config.max_iterations,
+            max_equality_splits=config.max_equality_splits,
+            tolerance=config.tolerance,
+            boolean_options=config.boolean_options,
+            linear_options=config.linear_options,
+            nonlinear_options=config.nonlinear_options,
+            refuter_options=getattr(config, "refuter_options", None),
+            seed=getattr(config, "seed", None),
+            label=label,
+        )
+
+    def to_config(self, tracer=None, event_bus=None):
+        """Rebuild a real ``ABSolverConfig`` inside the worker process."""
+        from ..core.solver import ABSolverConfig
+
+        return ABSolverConfig(
+            boolean=self.boolean,
+            linear=self.linear,
+            nonlinear=self.nonlinear,
+            refine_conflicts=self.refine_conflicts,
+            use_interval_refuter=self.use_interval_refuter,
+            max_iterations=self.max_iterations,
+            max_equality_splits=self.max_equality_splits,
+            tolerance=self.tolerance,
+            boolean_options=self.boolean_options,
+            linear_options=self.linear_options,
+            nonlinear_options=self.nonlinear_options,
+            refuter_options=self.refuter_options,
+            seed=self.seed,
+            tracer=tracer,
+            event_bus=event_bus,
+        )
+
+    def copy(self, **overrides) -> "ConfigSpec":
+        """A modified copy — how the portfolio ladder derives its variants."""
+        fields = {slot: getattr(self, slot) for slot in self.__slots__}
+        fields.update(overrides)
+        return ConfigSpec(**fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfigSpec({self.label}: boolean={self.boolean}, "
+            f"linear={self.linear}, seed={self.seed})"
+        )
+
+
+class SolveTask:
+    """One unit of parallel work (a cube, a portfolio entry, or a shard)."""
+
+    __slots__ = (
+        "task_id",
+        "gen",
+        "kind",
+        "problem",
+        "assumptions",
+        "cube",
+        "spec",
+        "trace",
+        "model_limit",
+        "share_lemmas",
+    )
+
+    #: ``kind`` values.
+    CHECK = "check"
+    ALL_MODELS = "all_models"
+
+    def __init__(
+        self,
+        task_id: int,
+        gen: int,
+        kind: str,
+        problem,
+        spec: ConfigSpec,
+        assumptions: Sequence[int] = (),
+        cube: Sequence[int] = (),
+        trace: bool = False,
+        model_limit: Optional[int] = None,
+        share_lemmas: bool = True,
+    ):
+        self.task_id = task_id
+        self.gen = gen
+        self.kind = kind
+        self.problem = problem
+        self.spec = spec
+        #: Per-query assumption literals (cube literals for CHECK tasks).
+        self.assumptions = tuple(assumptions)
+        #: The cube this task owns, for reporting; ALL_MODELS tasks assert
+        #: these as unit clauses to shard the enumeration space.
+        self.cube = tuple(cube)
+        self.trace = trace
+        self.model_limit = model_limit
+        self.share_lemmas = share_lemmas
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveTask(#{self.task_id} gen={self.gen} {self.kind} "
+            f"cube={list(self.cube)} spec={self.spec.label})"
+        )
+
+
+class WorkerOutcome:
+    """A worker's reply for one task."""
+
+    __slots__ = (
+        "task_id",
+        "worker_id",
+        "gen",
+        "status",
+        "model",
+        "models",
+        "reason",
+        "stats",
+        "trace_events",
+        "error",
+        "label",
+    )
+
+    #: ``status`` values beyond the verdict strings "sat"/"unsat"/"unknown".
+    CANCELLED = "cancelled"
+    MODELS = "models"
+    ERROR = "error"
+
+    def __init__(
+        self,
+        task_id: int,
+        worker_id: int,
+        gen: int,
+        status: str,
+        model=None,
+        models: Optional[List] = None,
+        reason: str = "",
+        stats=None,
+        trace_events: Optional[List[Dict[str, Any]]] = None,
+        error: str = "",
+        label: str = "",
+    ):
+        self.task_id = task_id
+        self.worker_id = worker_id
+        self.gen = gen
+        self.status = status
+        self.model = model
+        self.models = models
+        self.reason = reason
+        self.stats = stats
+        self.trace_events = trace_events
+        self.error = error
+        self.label = label
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerOutcome(#{self.task_id} worker={self.worker_id} "
+            f"{self.status}{' ' + self.reason if self.reason else ''})"
+        )

@@ -1,0 +1,170 @@
+"""The worker-process side of the parallel solving subsystem.
+
+:func:`worker_main` is a module-level function (so it survives the
+``spawn`` start method's pickling) running a simple task loop:
+
+1. Take the next :class:`~repro.parallel.tasks.SolveTask` off the shared
+   task queue (``None`` is the shutdown sentinel).
+2. Skip it when its generation stamp is stale — the coordinator bumps the
+   shared generation counter to cancel a solve, which both abandons queued
+   tasks and (through the pipeline's ``poll`` hook) aborts running ones.
+3. Run it: ``check`` tasks build a :class:`~repro.core.session.SolverSession`
+   and decide the problem under the cube's assumption literals;
+   ``all_models`` tasks assert the cube as unit clauses and enumerate the
+   cube's disjoint model subspace.
+4. Stream every *definite* theory lemma to the coordinator as it is
+   derived, and adopt foreign lemmas (broadcast by the coordinator) at
+   every pipeline iteration via the ``poll`` hook.
+5. Reply with a :class:`~repro.parallel.tasks.WorkerOutcome` carrying the
+   verdict, models, per-worker statistics, and Chrome trace events.
+
+Indefinite lemmas (candidates the nonlinear stage could neither satisfy
+nor refute) are *not* shared: they are "we could not decide" markers, not
+theorems, and adopting one would silently propagate incompleteness.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+from typing import List
+
+from ..core.session import SolverSession
+from ..core.solver import ABSolver, ABStatus
+from ..obs.trace import SpanTracer
+from .tasks import SolveTask, WorkerOutcome
+
+__all__ = ["worker_main"]
+
+
+def _drain_lemmas(session: SolverSession, lemma_queue, gen: int) -> None:
+    """Adopt every queued foreign lemma stamped with the current generation."""
+    while True:
+        try:
+            stamped_gen, clause = lemma_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        except (EOFError, OSError):  # queue torn down under us
+            return
+        if stamped_gen == gen:
+            session.import_lemmas([clause])
+
+
+def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value, tracer):
+    config = task.spec.to_config(tracer=tracer)
+    session = SolverSession(config)
+    session.assert_problem(task.problem)
+
+    if task.share_lemmas:
+        def stream_lemma(clause: List[int], definite: bool) -> None:
+            if definite:
+                result_queue.put(("lemma", task.gen, worker_id, clause))
+
+        session.lemma_listener = stream_lemma
+
+    def poll() -> bool:
+        _drain_lemmas(session, lemma_queue, task.gen)
+        return gen_value.value == task.gen
+
+    result = session.check(task.assumptions, poll=poll)
+    status = result.status.value
+    if result.status is ABStatus.UNKNOWN and result.reason == "cancelled":
+        status = WorkerOutcome.CANCELLED
+    return WorkerOutcome(
+        task_id=task.task_id,
+        worker_id=worker_id,
+        gen=task.gen,
+        status=status,
+        model=result.model,
+        reason=result.reason,
+        stats=result.stats,
+        label=task.spec.label,
+    )
+
+
+def _run_all_models(task: SolveTask, worker_id: int, gen_value, tracer):
+    config = task.spec.to_config(tracer=tracer)
+    # The problem arrived pickled, so it is worker-local: asserting the
+    # cube literals as unit clauses restricts this worker to its disjoint
+    # shard of the enumeration space.
+    problem = task.problem
+    for literal in task.cube:
+        problem.add_clause([literal])
+    solver = ABSolver(config)
+    models = []
+    status = WorkerOutcome.MODELS
+    for model in solver.all_solutions(problem, limit=task.model_limit):
+        models.append(model)
+        if gen_value.value != task.gen:
+            status = WorkerOutcome.CANCELLED
+            break
+    return WorkerOutcome(
+        task_id=task.task_id,
+        worker_id=worker_id,
+        gen=task.gen,
+        status=status,
+        models=models,
+        stats=solver.stats,
+        label=task.spec.label,
+    )
+
+
+def _execute(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value):
+    tracer = (
+        SpanTracer(process_name=f"absolver-worker-{worker_id}")
+        if task.trace
+        else None
+    )
+    try:
+        if task.kind == SolveTask.CHECK:
+            outcome = _run_check(
+                task, worker_id, result_queue, lemma_queue, gen_value, tracer
+            )
+        elif task.kind == SolveTask.ALL_MODELS:
+            outcome = _run_all_models(task, worker_id, gen_value, tracer)
+        else:
+            raise ValueError(f"unknown task kind {task.kind!r}")
+    except Exception:
+        outcome = WorkerOutcome(
+            task_id=task.task_id,
+            worker_id=worker_id,
+            gen=task.gen,
+            status=WorkerOutcome.ERROR,
+            error=traceback.format_exc(),
+            label=task.spec.label,
+        )
+    if tracer is not None:
+        outcome.trace_events = tracer.to_chrome_events()
+    return outcome
+
+
+def worker_main(worker_id: int, task_queue, result_queue, lemma_queue, gen_value) -> None:
+    """The worker process entry point: loop over tasks until the sentinel."""
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            if gen_value.value != task.gen:
+                result_queue.put(
+                    (
+                        "result",
+                        WorkerOutcome(
+                            task_id=task.task_id,
+                            worker_id=worker_id,
+                            gen=task.gen,
+                            status=WorkerOutcome.CANCELLED,
+                            reason="cancelled before start",
+                            label=task.spec.label,
+                        ),
+                    )
+                )
+                continue
+            result_queue.put(
+                ("result", _execute(task, worker_id, result_queue, lemma_queue, gen_value))
+            )
+    except KeyboardInterrupt:
+        return
+    except (EOFError, OSError):
+        # The coordinator went away and took the queues with it.
+        return

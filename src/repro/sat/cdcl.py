@@ -18,6 +18,7 @@ for the paper's benchmark sizes (hundreds to tens of thousands of clauses).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import CNF, Assignment
@@ -53,10 +54,19 @@ class CDCLSolver:
         restart_base: int = 100,
         activity_decay: float = 0.95,
         max_conflicts: Optional[int] = None,
+        seed: Optional[int] = None,
     ):
         self.restart_base = restart_base
         self.activity_decay = activity_decay
         self.max_conflicts = max_conflicts
+        #: Reproducible diversification: a seeded RNG jitters the initial
+        #: VSIDS activity (breaking the index-order tie of untouched
+        #: variables) and randomizes the initial saved phase.  ``None``
+        #: (the default) keeps the historical deterministic heuristics:
+        #: activity 0.0, phase False.  Two solvers built with the same seed
+        #: make identical decisions.
+        self.seed = seed
+        self._rng = random.Random(seed) if seed is not None else None
 
         self._num_vars = 0
         self._clauses: List[List[int]] = []
@@ -95,8 +105,12 @@ class CDCLSolver:
             self._values.append(self._UNASSIGNED)
             self._levels.append(0)
             self._reasons.append(None)
-            self._saved_phase.append(0)
-            self._activity.append(0.0)
+            if self._rng is None:
+                self._saved_phase.append(0)
+                self._activity.append(0.0)
+            else:
+                self._saved_phase.append(1 if self._rng.random() < 0.5 else 0)
+                self._activity.append(self._rng.random() * 1e-4)
             self._watches[self._num_vars] = []
             self._watches[-self._num_vars] = []
 

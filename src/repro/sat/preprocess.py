@@ -28,7 +28,12 @@ class PreprocessResult:
     Attributes:
         cnf: the simplified formula (equisatisfiable with the original).
         unsat: True when preprocessing already derived a contradiction.
-        forced: level-0 assignments discovered (variable -> bool).
+        forced: level-0 assignments *implied* by the formula (unit
+            propagation) — every model of the original agrees with them.
+        chosen: satisfiability-preserving *choices* (pure literals).  The
+            original formula may well have models with the opposite value,
+            so — unlike ``forced`` — these must not be used to evaluate
+            assumptions or later clauses.
         eliminated: reconstruction stack for BVE-removed variables, in
             elimination order; each entry is ``(var, clauses_with_var)``.
     """
@@ -40,10 +45,12 @@ class PreprocessResult:
         forced: Dict[int, bool],
         eliminated: List[Tuple[int, List[Clause]]],
         original_num_vars: int,
+        chosen: Optional[Dict[int, bool]] = None,
     ):
         self.cnf = cnf
         self.unsat = unsat
         self.forced = forced
+        self.chosen = dict(chosen or {})
         self.eliminated = eliminated
         self.original_num_vars = original_num_vars
 
@@ -53,6 +60,7 @@ class PreprocessResult:
             raise ValueError("cannot extend a model of an UNSAT formula")
         full = dict(model)
         full.update(self.forced)
+        full.update(self.chosen)
         # Reverse elimination order: each eliminated variable is assigned a
         # value satisfying all its original clauses given later decisions.
         for var, clauses in reversed(self.eliminated):
@@ -109,6 +117,7 @@ class Preprocessor:
                 seen.add(key)
                 clauses.append(key)
         forced: Dict[int, bool] = {}
+        chosen: Dict[int, bool] = {}
         eliminated: List[Tuple[int, List[Clause]]] = []
 
         changed = True
@@ -117,26 +126,30 @@ class Preprocessor:
             if self.unit_propagation:
                 outcome = self._propagate_units(clauses, forced)
                 if outcome is None:
-                    return PreprocessResult(CNF(), True, forced, eliminated, cnf.num_vars)
+                    return PreprocessResult(
+                        CNF(), True, forced, eliminated, cnf.num_vars, chosen
+                    )
                 clauses, moved = outcome
                 changed |= moved
             if self.pure_literals:
-                clauses, moved = self._pure_literals(clauses, forced)
+                clauses, moved = self._pure_literals(clauses, chosen)
                 changed |= moved
             if self.subsumption:
                 clauses, moved = self._subsume(clauses)
                 changed |= moved
             if self.variable_elimination:
-                outcome = self._eliminate_variables(clauses, forced, eliminated)
+                outcome = self._eliminate_variables(clauses, forced, chosen, eliminated)
                 if outcome is None:
-                    return PreprocessResult(CNF(), True, forced, eliminated, cnf.num_vars)
+                    return PreprocessResult(
+                        CNF(), True, forced, eliminated, cnf.num_vars, chosen
+                    )
                 clauses, moved = outcome
                 changed |= moved
 
         result = CNF(cnf.num_vars)
         for clause in clauses:
             result.add_clause(sorted(clause, key=abs))
-        return PreprocessResult(result, False, forced, eliminated, cnf.num_vars)
+        return PreprocessResult(result, False, forced, eliminated, cnf.num_vars, chosen)
 
     # ------------------------------------------------------------------
     def _propagate_units(
@@ -170,7 +183,7 @@ class Preprocessor:
             clauses = next_clauses
 
     def _pure_literals(
-        self, clauses: List[FrozenSet[int]], forced: Dict[int, bool]
+        self, clauses: List[FrozenSet[int]], chosen: Dict[int, bool]
     ) -> Tuple[List[FrozenSet[int]], bool]:
         polarity: Dict[int, Set[bool]] = {}
         for clause in clauses:
@@ -184,7 +197,7 @@ class Preprocessor:
         if not pure:
             return clauses, False
         for literal in pure:
-            forced[abs(literal)] = literal > 0
+            chosen[abs(literal)] = literal > 0
         remaining = [c for c in clauses if not (c & pure)]
         return remaining, True
 
@@ -222,6 +235,7 @@ class Preprocessor:
         self,
         clauses: List[FrozenSet[int]],
         forced: Dict[int, bool],
+        chosen: Dict[int, bool],
         eliminated: List[Tuple[int, List[Clause]]],
     ) -> Optional[Tuple[List[FrozenSet[int]], bool]]:
         """Bounded variable elimination by clause distribution (resolution)."""
@@ -230,7 +244,10 @@ class Preprocessor:
             for literal in clause:
                 occurrences.setdefault(literal, []).append(clause)
         variables = sorted(
-            {abs(l) for c in clauses for l in c} - self.frozen - set(forced)
+            {abs(l) for c in clauses for l in c}
+            - self.frozen
+            - set(forced)
+            - set(chosen)
         )
         for var in variables:
             positive = occurrences.get(var, [])

@@ -1,0 +1,348 @@
+"""Tests for the parallel solving subsystem (repro.parallel)."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro import (
+    ABProblem,
+    ABSolver,
+    ABSolverConfig,
+    ABStatus,
+    ParallelSolver,
+    SolverSession,
+)
+from repro.benchgen import fischer_unroll_family
+from repro.benchgen.randgen import planted_problem, random_linear_problem
+from repro.core.expr import parse_constraint
+from repro.parallel import (
+    ConfigSpec,
+    SolveTask,
+    WorkerOutcome,
+    build_cubes,
+    default_cube_depth,
+    generate_cubes,
+    pick_split_variables,
+    portfolio_specs,
+)
+from repro.parallel.worker import _execute
+
+
+def small_problem() -> ABProblem:
+    problem = ABProblem()
+    problem.define(1, "real", parse_constraint("x + y <= 4"))
+    problem.define(2, "real", parse_constraint("x - y >= 1"))
+    problem.define(3, "real", parse_constraint("x >= 2.5"))
+    problem.add_clause([1])
+    problem.add_clause([2, 3])
+    return problem
+
+
+def definitions_unsat_problem() -> ABProblem:
+    """Boolean-satisfiable, theory-unsat in every candidate; refinement off
+    forces the fallback full-assignment blocking template."""
+    problem = ABProblem()
+    problem.define(1, "real", parse_constraint("x >= 5"))
+    problem.define(2, "real", parse_constraint("x <= 1"))
+    problem.define(3, "real", parse_constraint("y >= 0"))
+    problem.add_clause([1])
+    problem.add_clause([2])
+    problem.add_clause([3, -3])
+    return problem
+
+
+class TestCubeSplitting:
+    def test_pick_prefers_definition_variables(self):
+        problem = small_problem()
+        chosen = pick_split_variables(problem, 2)
+        assert len(chosen) == 2
+        assert set(chosen) <= set(problem.definitions)
+
+    def test_pick_is_deterministic_and_bounded(self):
+        problem = small_problem()
+        assert pick_split_variables(problem, 2) == pick_split_variables(problem, 2)
+        assert len(pick_split_variables(problem, 50)) <= problem.cnf.num_vars
+        assert pick_split_variables(problem, 0) == []
+
+    def test_cubes_partition_the_space(self):
+        cubes = generate_cubes([3, 7])
+        assert len(cubes) == 4
+        assert len(set(cubes)) == 4
+        # every cube decides both variables, one polarity each
+        for cube in cubes:
+            assert sorted(abs(l) for l in cube) == [3, 7]
+        # all sign combinations present => exhaustive partition
+        assert {tuple(l > 0 for l in cube) for cube in cubes} == {
+            (True, True),
+            (True, False),
+            (False, True),
+            (False, False),
+        }
+
+    def test_empty_split_is_single_true_cube(self):
+        assert generate_cubes([]) == [()]
+        assert default_cube_depth(1) == 0
+        assert default_cube_depth(2) == 1
+        assert default_cube_depth(4) == 2
+        assert default_cube_depth(5) == 3
+
+    def test_build_cubes_on_problem(self):
+        assert len(build_cubes(small_problem(), 2)) == 4
+
+
+class TestPickleProtocol:
+    def test_problem_round_trip(self):
+        problem = small_problem()
+        clone = pickle.loads(pickle.dumps(problem))
+        assert clone.cnf.clauses == problem.cnf.clauses
+        assert set(clone.definitions) == set(problem.definitions)
+        for var in problem.definitions:
+            original = problem.definitions[var].constraint
+            copied = clone.definitions[var].constraint
+            assert str(copied) == str(original)
+
+    def test_model_round_trip(self):
+        result = ABSolver().solve(small_problem())
+        assert result.is_sat
+        clone = pickle.loads(pickle.dumps(result.model))
+        assert clone == result.model
+        assert hash(clone) == hash(result.model)
+
+    def test_statistics_round_trip(self):
+        solver = ABSolver()
+        solver.solve(small_problem())
+        clone = pickle.loads(pickle.dumps(solver.stats))
+        assert clone.as_dict() == solver.stats.as_dict()
+
+    def test_task_and_outcome_round_trip(self):
+        task = SolveTask(
+            task_id=3,
+            gen=7,
+            kind=SolveTask.CHECK,
+            problem=small_problem(),
+            spec=ConfigSpec(seed=5, label="x"),
+            assumptions=(1, -2),
+            cube=(1, -2),
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.task_id == 3 and clone.gen == 7
+        assert clone.assumptions == (1, -2)
+        assert clone.spec.seed == 5
+        outcome = WorkerOutcome(task_id=1, worker_id=0, gen=7, status="unsat")
+        assert pickle.loads(pickle.dumps(outcome)).status == "unsat"
+
+
+class TestPortfolioLadder:
+    def test_ladder_is_deterministic_prefix(self):
+        base = ConfigSpec.from_config(ABSolverConfig())
+        four = portfolio_specs(base, 4)
+        two = portfolio_specs(base, 2)
+        assert [s.label for s in four[:2]] == [s.label for s in two]
+        assert four[0].linear == base.linear  # entry 0 IS the base config
+        assert four[1].linear == "difference"
+        assert len({(s.label, s.seed) for s in four}) == 4
+
+    def test_ladder_respects_non_cdcl_base(self):
+        base = ConfigSpec.from_config(ABSolverConfig(boolean="dpll"))
+        for spec in portfolio_specs(base, 6):
+            if spec.boolean == "dpll":
+                # DPLL accepts no restart/seed options
+                assert "restart_base" not in spec.boolean_options
+                # every spec must build a real config without blowing up
+            spec.to_config()
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            portfolio_specs(ConfigSpec(), 0)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_identical_statistics(self):
+        problem = random_linear_problem(11)
+
+        def counters(seed):
+            solver = ABSolver(ABSolverConfig(seed=seed))
+            solver.solve(problem)
+            return {
+                key: value
+                for key, value in solver.stats.as_dict().items()
+                if not key.startswith("time_")
+            }
+
+        assert counters(7) == counters(7)
+        assert counters(123) == counters(123)
+
+    def test_seed_flows_into_cdcl(self):
+        from repro.core.pipeline import SolvePipeline
+
+        pipeline = SolvePipeline(ABSolverConfig(seed=99))
+        assert pipeline.candidate._boolean._options.get("seed") == 99
+        unseeded = SolvePipeline(ABSolverConfig())
+        assert "seed" not in unseeded.candidate._boolean._options
+
+
+class TestMemoization:
+    def test_bound_rows_cache_hits(self):
+        family = fischer_unroll_family(3)
+        solver = ABSolver(ABSolverConfig())
+        result = solver.solve(
+            family.problem_at_depth(3), assumptions=family.check_assumptions(3)
+        )
+        assert result.is_sat
+        assert solver.stats.bound_rows_cache_hits > 0
+
+    def test_blocking_template_hits(self):
+        # Indefinite nonlinear verdicts carry no conflict core, so every
+        # candidate is blocked through the memoized fallback template.
+        problem = ABProblem()
+        problem.define(1, "real", parse_constraint("x*x + y*y <= -1"))
+        problem.add_clause([1])
+        for index in (2, 3):
+            problem.define(index, "real", parse_constraint(f"x >= {index}"))
+            problem.add_clause([index, -index])
+        solver = ABSolver(ABSolverConfig(use_interval_refuter=False))
+        result = solver.solve(problem)
+        assert result.status is ABStatus.UNKNOWN
+        assert solver.stats.blocking_clauses >= 2
+        assert solver.stats.blocking_template_hits >= 1
+
+
+class TestParallelSolve:
+    def test_cube_mode_sat(self):
+        sequential = ABSolver().solve(small_problem())
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=2) as solver:
+            result = solver.solve(small_problem())
+        assert result.status == sequential.status == ABStatus.SAT
+        assert small_problem().check_model(
+            result.model.boolean, result.model.theory
+        )
+        assert solver.last_stats.registry.counter("parallel_tasks").value == 4
+
+    def test_portfolio_mode_sat(self):
+        with ParallelSolver(jobs=2, mode="portfolio") as solver:
+            result = solver.solve(small_problem())
+        assert result.status is ABStatus.SAT
+        labels = [label for label, _ in solver.last_tasks]
+        assert labels == ["base", "difference"]
+
+    def test_cube_mode_unsat_needs_all_cubes(self):
+        problem = definitions_unsat_problem()
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=2) as solver:
+            result = solver.solve(problem)
+        assert result.is_unsat
+        statuses = [status for _, status in solver.last_tasks]
+        assert statuses == ["unsat"] * len(statuses)
+
+    def test_deterministic_mode_fixed_witness(self):
+        problem = planted_problem(5).problem
+
+        def witness():
+            with ParallelSolver(
+                jobs=2, mode="cube", cube_depth=2, deterministic=True
+            ) as solver:
+                result = solver.solve(problem)
+            assert result.is_sat
+            return result.model
+
+        assert witness() == witness()
+
+    def test_all_models_sharding_matches_sequential(self):
+        problem = small_problem()
+        sequential = set(ABSolver().all_solutions(small_problem()))
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=1) as solver:
+            sharded = solver.all_solutions(problem)
+        assert set(sharded) == sequential
+        assert len(sharded) == len(sequential)  # dedup keeps them unique
+
+    def test_pool_reuse_across_solves(self):
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=1) as solver:
+            first = solver.solve(small_problem())
+            workers = list(solver._workers)
+            second = solver.solve(definitions_unsat_problem())
+            assert first.is_sat and second.is_unsat
+            assert solver._workers == workers  # same processes, no respawn
+
+    def test_worker_error_propagates(self):
+        task = SolveTask(
+            task_id=0,
+            gen=1,
+            kind="no-such-kind",
+            problem=small_problem(),
+            spec=ConfigSpec(),
+        )
+        outcome = _execute(task, 0, None, None, None)
+        assert outcome.status == WorkerOutcome.ERROR
+        assert "no-such-kind" in outcome.error
+
+
+class TestLemmaSharing:
+    def test_check_session_imports_lemmas(self):
+        family = fischer_unroll_family(4)
+        session = SolverSession(ABSolverConfig())
+        session.assert_problem(family.problem_at_depth(4))
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=1) as solver:
+            result = solver.check_session(
+                session, assumptions=family.check_assumptions(4)
+            )
+        assert result.is_sat
+        assert solver.shared_lemmas, "expected definite lemmas from the workers"
+        imported = session.stats.registry.counter("lemmas_imported").value
+        assert imported >= len(solver.shared_lemmas)
+        # the enriched session still answers correctly
+        assert session.check(family.check_assumptions(4)).is_sat
+
+    def test_lemma_counters_recorded(self):
+        family = fischer_unroll_family(4)
+        with ParallelSolver(jobs=2, mode="portfolio") as solver:
+            solver.solve(
+                family.problem_at_depth(4),
+                assumptions=family.check_assumptions(4),
+            )
+            shared = solver.last_stats.registry.counter("lemmas_shared").value
+            assert shared > 0
+
+
+class TestCancellationAndShutdown:
+    def test_timeout_returns_unknown_and_leaves_no_orphans(self):
+        # A hard instance: nonlinear-indefinite candidates with refinement
+        # and interval refutation off grind through an exponential candidate
+        # stream — far longer than the timeout.
+        problem = ABProblem()
+        for index in range(1, 9):
+            problem.define(
+                index, "real", parse_constraint(f"x*x + y*y >= {index + 1}")
+            )
+            problem.add_clause([index, -index])
+        problem.define(9, "real", parse_constraint("x*x + y*y <= -1"))
+        problem.add_clause([9])
+        config = ABSolverConfig(refine_conflicts=False, use_interval_refuter=False)
+        solver = ParallelSolver(
+            config=config, jobs=2, mode="cube", cube_depth=1, timeout=0.3, grace=1.0
+        )
+        with solver:
+            result = solver.solve(problem)
+            assert result.status is ABStatus.UNKNOWN
+            assert "timeout" in result.reason or "cancelled" in result.reason
+        for process in multiprocessing.active_children():
+            process.join(timeout=5)
+        assert not multiprocessing.active_children()
+
+    def test_close_reaps_workers(self):
+        solver = ParallelSolver(jobs=3, mode="cube", cube_depth=2)
+        solver.solve(small_problem())
+        assert len(solver._workers) == 3
+        solver.close()
+        assert not multiprocessing.active_children()
+
+    def test_pool_respawns_after_timeout(self):
+        solver = ParallelSolver(jobs=2, mode="cube", cube_depth=1, timeout=30.0)
+        with solver:
+            assert solver.solve(small_problem()).is_sat
+            assert solver.solve(small_problem()).is_sat  # pool still healthy
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelSolver(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelSolver(mode="race")

@@ -1,0 +1,117 @@
+"""Randomized agreement: cube, portfolio, and sequential must coincide.
+
+Satellite of the parallel subsystem: on a corpus of 50+ random
+AB-problems (the ``test_fuzz`` generators — planted SAT instances and
+unconstrained random linear problems), cube-and-conquer and portfolio
+solving must return the same verdict as the sequential solver, the same
+model *set* for all-models enumeration, and UNKNOWN must propagate
+identically (Kleene join / portfolio unanimity).
+
+Both parallel solvers are module-scoped fixtures, so the whole corpus
+reuses two persistent worker pools instead of forking per case.
+"""
+
+import pytest
+
+from repro import ABProblem, ABSolver, ABSolverConfig, ABStatus, ParallelSolver
+from repro.benchgen.randgen import planted_problem, random_linear_problem
+from repro.core.expr import parse_constraint
+
+#: 30 unconstrained random problems + 25 planted (guaranteed-SAT) ones.
+RANDOM_SEEDS = list(range(30))
+PLANTED_SEEDS = list(range(100, 125))
+
+
+@pytest.fixture(scope="module")
+def cube_solver():
+    with ParallelSolver(jobs=2, mode="cube", cube_depth=2) as solver:
+        yield solver
+
+
+@pytest.fixture(scope="module")
+def portfolio_solver():
+    with ParallelSolver(jobs=2, mode="portfolio") as solver:
+        yield solver
+
+
+def _assert_agreement(problem, cube_solver, portfolio_solver, tag):
+    sequential = ABSolver().solve(problem)
+    cube = cube_solver.solve(problem)
+    portfolio = portfolio_solver.solve(problem)
+    assert cube.status == sequential.status, (
+        f"{tag}: cube said {cube.status.value}, "
+        f"sequential {sequential.status.value}"
+    )
+    assert portfolio.status == sequential.status, (
+        f"{tag}: portfolio said {portfolio.status.value}, "
+        f"sequential {sequential.status.value}"
+    )
+    for name, result in (("cube", cube), ("portfolio", portfolio)):
+        if result.is_sat:
+            assert problem.check_model(
+                result.model.boolean, result.model.theory
+            ), f"{tag}: {name} returned an invalid model"
+
+
+class TestVerdictAgreement:
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_random_linear(self, seed, cube_solver, portfolio_solver):
+        problem = random_linear_problem(seed)
+        _assert_agreement(problem, cube_solver, portfolio_solver, f"random-{seed}")
+
+    @pytest.mark.parametrize("seed", PLANTED_SEEDS)
+    def test_planted_sat(self, seed, cube_solver, portfolio_solver):
+        instance = planted_problem(seed)
+        sequential = ABSolver().solve(instance.problem)
+        assert sequential.is_sat, seed
+        _assert_agreement(
+            instance.problem, cube_solver, portfolio_solver, f"planted-{seed}"
+        )
+
+
+class TestModelSetAgreement:
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11, 101, 104, 109, 117])
+    def test_all_models_same_set(self, seed, cube_solver):
+        if seed >= 100:
+            problem = planted_problem(seed).problem
+        else:
+            problem = random_linear_problem(seed)
+        sequential = set(ABSolver().all_solutions(problem, limit=64))
+        sharded = cube_solver.all_solutions(problem, limit=64)
+        assert len(sharded) == len(set(sharded)), f"{seed}: duplicates in shards"
+        assert set(sharded) == sequential, f"{seed}: model sets diverge"
+
+
+class TestUnknownAgreement:
+    def _indefinite_problem(self, free_defs: int) -> ABProblem:
+        """Nonlinear-infeasible core the solvers can neither satisfy nor
+        (with the interval refuter off) refute — sequential UNKNOWN."""
+        problem = ABProblem()
+        problem.define(1, "real", parse_constraint("x*x + y*y <= -1"))
+        problem.add_clause([1])
+        for index in range(2, 2 + free_defs):
+            problem.define(index, "real", parse_constraint(f"x >= {index}"))
+            problem.add_clause([index, -index])
+        return problem
+
+    @pytest.mark.parametrize("free_defs", [1, 2, 3])
+    def test_unknown_propagates(self, free_defs):
+        problem = self._indefinite_problem(free_defs)
+        config = ABSolverConfig(use_interval_refuter=False)
+        sequential = ABSolver(config).solve(problem)
+        assert sequential.status is ABStatus.UNKNOWN
+        with ParallelSolver(config=config, jobs=2, mode="cube", cube_depth=2) as cube:
+            assert cube.solve(problem).status is ABStatus.UNKNOWN
+        with ParallelSolver(config=config, jobs=2, mode="portfolio") as race:
+            # the ladder inherits the disabled refuter, so no entry can
+            # manufacture a definite answer: unanimity requires UNKNOWN
+            assert race.solve(problem).status is ABStatus.UNKNOWN
+
+    def test_unsat_cube_does_not_mask_unknown(self):
+        # One cube is definitely UNSAT, the rest are indefinite: the Kleene
+        # join must be UNKNOWN, not UNSAT.
+        problem = self._indefinite_problem(2)
+        config = ABSolverConfig(use_interval_refuter=False)
+        with ParallelSolver(config=config, jobs=2, mode="cube", cube_depth=1) as cube:
+            result = cube.solve(problem)
+        assert result.status is ABStatus.UNKNOWN

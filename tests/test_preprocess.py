@@ -41,12 +41,16 @@ class TestPureLiterals:
         cnf = CNF(2, [[1, 2], [1, -2]])
         result = preprocess(cnf)  # 1 is pure positive
         assert result.cnf.num_clauses == 0
-        assert result.forced[1] is True
+        # Pure literals are satisfiability-preserving *choices*, not implied
+        # facts, so they land in ``chosen`` rather than ``forced``.
+        assert result.chosen[1] is True
+        assert 1 not in result.forced
 
     def test_frozen_variables_kept(self):
         cnf = CNF(2, [[1, 2], [1, -2]])
         result = Preprocessor(frozen=[1], variable_elimination=False).run(cnf)
         assert 1 not in result.forced
+        assert 1 not in result.chosen
 
 
 class TestSubsumption:
