@@ -12,14 +12,22 @@ tank controller) twice each:
   classic mode — every depth re-translates every atom and relearns every
   theory lemma from scratch;
 * **session**: one :class:`~repro.core.session.SolverSession`, each depth
-  asserting only its delta — learned clauses, theory lemmas, and the
-  translation cache persist across checks.
+  asserting only its delta — learned clauses, theory lemmas, simplex
+  warm-start points, and the translation cache persist across checks;
+* **replay**: a *fresh* session primed with the definite theory lemmas the
+  session sweep derived, imported lazily
+  (``import_lemmas(..., lazy=True)``) — the clauses become blocking
+  *templates* instead of CDCL clauses, and every candidate a template
+  blocks is counted in ``blocking_template_hits`` and skips the theory
+  stages entirely.  This is the sequential measurement of the mechanism
+  parallel workers use to deduplicate refinement work across cubes.
 
-The end-of-session report table shows the sweep times, the speedup, and
-the session's reuse counters (``clauses_reused``, ``translation_cache_hits``);
-the report *asserts* that the session sweep is strictly faster and that
-both reuse counters are nonzero.  Both families are pure difference logic,
-so the sweeps run with ``linear="difference"`` (Bellman-Ford negative-cycle
+The end-of-session report table shows the sweep times, the speedups, and
+the reuse counters (``clauses_reused``, ``translation_cache_hits``,
+``warm_start_hits``, ``blocking_template_hits``); the report *asserts*
+that the session sweep is strictly faster than one-shot and that the
+reuse counters are nonzero.  Both families are pure difference logic, so
+the sweeps run with ``linear="difference"`` (Bellman-Ford negative-cycle
 conflict cores).
 
 Environment knobs:
@@ -81,8 +89,17 @@ def _oneshot_sweep(family):
 
 
 def _session_sweep(family, reference_verdicts=None):
-    """Solve depths 1..max through one session, asserting only the deltas."""
+    """Solve depths 1..max through one session, asserting only the deltas.
+
+    Collects every definite theory lemma the sweep derives (via the
+    session's ``lemma_listener``) so the replay sweep can prime a fresh
+    session with them.
+    """
     session = SolverSession(_config())
+    lemmas = []
+    session.lemma_listener = (
+        lambda clause, definite: lemmas.append(list(clause)) if definite else None
+    )
     verdicts = []
     started = time.perf_counter()
     family.layers[0].apply_to_session(session)
@@ -103,6 +120,36 @@ def _session_sweep(family, reference_verdicts=None):
         "seconds": time.perf_counter() - started,
         "verdicts": verdicts,
         "stats": session.stats,
+        "lemmas": lemmas,
+    }
+
+
+def _replay_sweep(family, lemmas, reference_verdicts):
+    """Re-run the sweep in a fresh session primed with known lemmas.
+
+    The lemmas are imported *lazily* at every depth: clauses whose
+    variables are not yet defined are skipped (re-offered at the next
+    depth), registered ones become blocking templates.  Candidates that
+    violate a template are blocked before any theory check — the
+    ``blocking_template_hits`` counter measures exactly how much
+    refinement work the priming saved.
+    """
+    session = SolverSession(_config())
+    verdicts = []
+    started = time.perf_counter()
+    family.layers[0].apply_to_session(session)
+    for depth in range(1, family.max_depth + 1):
+        family.layers[depth].apply_to_session(session)
+        session.import_lemmas(lemmas, lazy=True)
+        result = session.check(family.check_assumptions(depth))
+        assert result.status.value == reference_verdicts[depth - 1], (
+            f"{family.name} depth {depth}: replay and session disagree"
+        )
+        verdicts.append(result.status.value)
+    return {
+        "seconds": time.perf_counter() - started,
+        "verdicts": verdicts,
+        "stats": session.stats,
     }
 
 
@@ -114,6 +161,11 @@ def _run_family(name, benchmark):
         measured["one-shot"] = _oneshot_sweep(family)
         measured["session"] = _session_sweep(
             family, reference_verdicts=measured["one-shot"]["verdicts"]
+        )
+        measured["replay"] = _replay_sweep(
+            family,
+            measured["session"]["lemmas"],
+            measured["session"]["verdicts"],
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -137,11 +189,12 @@ def _report():
         "depths",
         "one-shot s",
         "session s",
+        "replay s",
         "speedup",
         "clauses_reused",
         "cache_hits",
-        "boolean one-shot",
-        "boolean session",
+        "warm_hits",
+        "template_hits",
     ]
     rows = []
     failures = []
@@ -149,7 +202,9 @@ def _report():
         if "one-shot" not in measured or "session" not in measured:
             continue
         oneshot, session = measured["one-shot"], measured["session"]
+        replay = measured.get("replay")
         stats = session["stats"]
+        replay_stats = replay["stats"] if replay else None
         speedup = oneshot["seconds"] / max(session["seconds"], 1e-9)
         rows.append(
             [
@@ -157,11 +212,12 @@ def _report():
                 f"1..{unroll_max_depth()}",
                 f"{oneshot['seconds']:.3f}",
                 f"{session['seconds']:.3f}",
+                f"{replay['seconds']:.3f}" if replay else "-",
                 f"{speedup:.2f}x",
                 stats.clauses_reused,
                 stats.translation_cache_hits,
-                oneshot["stats"].boolean_queries,
-                stats.boolean_queries,
+                stats.warm_start_hits,
+                replay_stats.blocking_template_hits if replay_stats else 0,
             ]
         )
         if session["seconds"] >= oneshot["seconds"]:
@@ -170,7 +226,15 @@ def _report():
             failures.append(f"{name}: no clause reuse across checks")
         if stats.translation_cache_hits <= 0:
             failures.append(f"{name}: translation cache never hit")
-    report_rows("Incremental sessions — unroll sweeps (one-shot vs session)", header, rows)
+        if stats.warm_start_hits <= 0:
+            failures.append(f"{name}: simplex warm starts never hit")
+        if replay_stats is not None and replay_stats.blocking_template_hits <= 0:
+            failures.append(f"{name}: lemma replay never hit a blocking template")
+    report_rows(
+        "Incremental sessions — unroll sweeps (one-shot vs session vs replay)",
+        header,
+        rows,
+    )
 
     # Machine-readable trajectory record (BENCH_incremental_unroll.json):
     # cumulative session stats plus per-family sweep times and speedups,
@@ -182,6 +246,7 @@ def _report():
         if "one-shot" not in measured or "session" not in measured:
             continue
         oneshot, session = measured["one-shot"], measured["session"]
+        replay = measured.get("replay")
         per_family[name] = {
             "one_shot_seconds": oneshot["seconds"],
             "session_seconds": session["seconds"],
@@ -191,6 +256,16 @@ def _report():
         total_wall += oneshot["seconds"] + session["seconds"]
         stats = session["stats"]
         combined = stats if combined is None else combined.merge(stats)
+        if replay is not None:
+            per_family[name]["replay_seconds"] = replay["seconds"]
+            per_family[name]["replay_template_hits"] = (
+                replay["stats"].blocking_template_hits
+            )
+            total_wall += replay["seconds"]
+            # Merge the replay session's counters too: the committed record
+            # carries blocking_template_hits from the primed sweep next to
+            # warm_start_hits from the incremental one.
+            combined.merge(replay["stats"])
     if per_family:
         record_bench(
             "incremental_unroll",

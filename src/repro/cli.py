@@ -155,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="split into 2^K cubes (default: smallest K covering --jobs)",
     )
     parser.add_argument(
+        "--cube-split-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --parallel cube: iteration budget after which a worker "
+        "abandons a hard cube and hands back two lookahead-refined halves "
+        "(0 disables self-splitting; default 64 when --jobs > 1)",
+    )
+    parser.add_argument(
         "--parallel-timeout",
         type=float,
         default=None,
@@ -338,6 +347,7 @@ def _run_parallel(args, config, problem) -> int:
         mode=args.parallel,
         cube_depth=args.cube_depth,
         timeout=args.parallel_timeout,
+        split_budget=args.cube_split_budget,
     )
     started = time.perf_counter()
     with solver:

@@ -349,6 +349,23 @@ class SimplexLinearAdapter(LinearSolverInterface):
     variables and solved independently — exact, and it keeps the dense
     tableau small on loosely-coupled systems (each Sudoku cell's rows form
     their own component).
+
+    Args:
+        refine_minimal: compute IIS conflict cores via the deletion filter
+            (the paper's refinement ablation toggles this off to get coarse
+            full-assignment conflicts instead).
+        max_bb_nodes: node budget of the branch-and-bound search used when
+            a component has integer variables.
+        use_presolve: run the bound-propagation presolve before each
+            component solve.
+        warm_start: cache feasible points under a canonical structural key
+            and answer re-checks by exact revalidation (on by default —
+            stale entries are revalidated before use, so the cache is
+            always sound; see :class:`~repro.linear.simplex.SimplexSolver`).
+        engine: ``"exact"`` for the pure-Fraction simplex, ``"numpy"`` for
+            the float64 filter with exact certification
+            (:class:`~repro.linear.numpy_simplex.NumpySimplexSolver`; falls
+            back to exact transparently when numpy is unavailable).
     """
 
     name = "simplex"
@@ -358,17 +375,35 @@ class SimplexLinearAdapter(LinearSolverInterface):
         refine_minimal: bool = True,
         max_bb_nodes: int = 100_000,
         use_presolve: bool = False,
-        warm_start: bool = False,
+        warm_start: bool = True,
+        engine: str = "exact",
     ):
         self.refine_minimal = refine_minimal
         self.use_presolve = use_presolve
-        self._simplex = SimplexSolver(warm_start=warm_start)
+        if engine == "numpy":
+            from ..linear.numpy_simplex import NumpySimplexSolver
+
+            self._simplex: SimplexSolver = NumpySimplexSolver(warm_start=warm_start)
+        elif engine == "exact":
+            self._simplex = SimplexSolver(warm_start=warm_start)
+        else:
+            raise ValueError(f"unknown simplex engine {engine!r}")
         self._branch_bound = BranchAndBoundSolver(max_nodes=max_bb_nodes, simplex=self._simplex)
 
     @property
     def warm_start_hits(self) -> int:
         """Simplex checks answered from the warm-start point cache."""
         return self._simplex.warm_hits
+
+    @property
+    def numpy_accepts(self) -> int:
+        """Checks the float64 path answered with an exact certificate."""
+        return getattr(self._simplex, "numpy_accepts", 0)
+
+    @property
+    def numpy_fallbacks(self) -> int:
+        """Float64 runs that failed certification and re-solved exactly."""
+        return getattr(self._simplex, "numpy_fallbacks", 0)
 
     def invalidate_caches(self) -> None:
         """Drop warm-start state (called when the asserted structure changes)."""
@@ -439,12 +474,31 @@ class DifferenceLinearAdapter(SimplexLinearAdapter):
 
     name = "difference"
 
-    def __init__(self, refine_minimal: bool = True, max_bb_nodes: int = 100_000):
-        super().__init__(refine_minimal=refine_minimal, max_bb_nodes=max_bb_nodes)
+    def __init__(
+        self,
+        refine_minimal: bool = True,
+        max_bb_nodes: int = 100_000,
+        warm_start: bool = True,
+    ):
+        super().__init__(
+            refine_minimal=refine_minimal,
+            max_bb_nodes=max_bb_nodes,
+            warm_start=warm_start,
+        )
         from ..linear.difference import DifferenceLogicSolver, is_difference_system
 
-        self._difference = DifferenceLogicSolver()
+        self._difference = DifferenceLogicSolver(warm_start=warm_start)
         self._is_difference_system = is_difference_system
+
+    @property
+    def warm_start_hits(self) -> int:
+        """Warm-cache hits across both engines (Bellman–Ford + simplex)."""
+        return self._simplex.warm_hits + self._difference.warm_hits
+
+    def invalidate_caches(self) -> None:
+        """Drop warm-start state in both the simplex and difference engines."""
+        super().invalidate_caches()
+        self._difference.clear_warm_cache()
 
     def _check_component(self, component: LinearSystem) -> LPResult:
         if self._is_difference_system(component):

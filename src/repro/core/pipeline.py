@@ -397,6 +397,7 @@ class LinearCheckStage(SolverStage):
         self._pipeline = pipeline
         self._linear = linear
         self._warm_seen = 0
+        self._numpy_seen = (0, 0)
 
     @property
     def solver(self) -> LinearSolverInterface:
@@ -414,6 +415,13 @@ class LinearCheckStage(SolverStage):
         if hits > self._warm_seen:
             stats.warm_start_hits += hits - self._warm_seen
             self._warm_seen = hits
+        accepts = getattr(self._linear, "numpy_accepts", 0)
+        fallbacks = getattr(self._linear, "numpy_fallbacks", 0)
+        seen_accepts, seen_fallbacks = self._numpy_seen
+        if accepts > seen_accepts or fallbacks > seen_fallbacks:
+            stats.numpy_accepts += accepts - seen_accepts
+            stats.numpy_fallbacks += fallbacks - seen_fallbacks
+            self._numpy_seen = (accepts, fallbacks)
         return result
 
     def reset(self) -> None:
@@ -563,6 +571,32 @@ class ConflictRefinementStage(SolverStage):
         """No-op: refinement holds no problem-structure state."""
 
 
+class _BlockingTemplate:
+    """One cached definite blocking clause plus the context it relies on.
+
+    ``content`` snapshots the ``(var, domain, constraint)`` triple of every
+    definition the clause mentions; ``bounds_key`` / ``domains_key``
+    fingerprint the global bound rows and variable typings (untagged bound
+    rows participate in Farkas cores, and integer typings steer
+    branch-and-bound, so both are part of the derivation).  A template is
+    only replayed when all three still match the live problem.
+    """
+
+    __slots__ = ("clause", "content", "bounds_key", "domains_key")
+
+    def __init__(
+        self,
+        clause: List[int],
+        content: Tuple,
+        bounds_key: frozenset,
+        domains_key: frozenset,
+    ):
+        self.clause = clause
+        self.content = content
+        self.bounds_key = bounds_key
+        self.domains_key = domains_key
+
+
 # ----------------------------------------------------------------------
 # The pipeline
 # ----------------------------------------------------------------------
@@ -631,6 +665,15 @@ class SolvePipeline:
         #: Memoized defined-variable order of :meth:`fallback_blocking_clause`
         #: (``None`` = recompute; invalidated on definition changes).
         self._blocking_vars: Optional[Tuple[int, ...]] = None
+        #: Blocking-clause templates: sorted-clause key -> template record.
+        #: Templates remember the content (definitions, bounds, domains) they
+        #: were derived from and are revalidated on every match, so entries
+        #: survive push/pop retraction without ever going unsound.
+        self._templates: Dict[Tuple[int, ...], _BlockingTemplate] = {}
+        #: Memoized bounds fingerprint (None = recompute after a change).
+        self._bounds_key: Optional[frozenset] = None
+        #: Memoized variable-domains fingerprint (invalidated with defs).
+        self._domains_key: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # Structural-change hooks (driven by SolverSession)
@@ -641,15 +684,23 @@ class SolvePipeline:
     def definitions_added(self) -> None:
         self.translation.definitions_changed()
         self._blocking_vars = None
+        self._domains_key = None
 
     def definitions_removed(self, variables: Sequence[int]) -> None:
+        # The linear warm-start caches deliberately survive this hook: cached
+        # points are revalidated with exact arithmetic before every reuse, so
+        # retracting definitions can only cause a failed validation, never a
+        # wrong verdict.  (Clearing them here is why warm_start_hits used to
+        # flatline at 0 across session push/pop sequences.)
         self.translation.invalidate_definitions(variables)
-        self.linear.reset()
         self._blocking_vars = None
+        self._domains_key = None
 
     def bounds_changed(self) -> None:
+        # Same reasoning as definitions_removed: warm-start entries are keyed
+        # on row structure and revalidated exactly, so bound shifts are safe.
         self.translation.bounds_changed()
-        self.linear.reset()
+        self._bounds_key = None
 
     # ------------------------------------------------------------------
     # Candidate blocking (hot path of all-models enumeration)
@@ -661,12 +712,99 @@ class SolvePipeline:
         variables = self._blocking_vars
         if variables is None:
             self._blocking_vars = variables = tuple(problem.definitions)
-        else:
-            self.stats.blocking_template_hits += 1
         if not variables:  # no definitions: block the full assignment
             return [(-var if value else var) for var, value in alpha.items()]
         get = alpha.get
         return [(-var if get(var, False) else var) for var in variables]
+
+    # ------------------------------------------------------------------
+    # Blocking-clause templates
+    # ------------------------------------------------------------------
+
+    #: Cap on remembered blocking-clause templates.
+    BLOCKING_TEMPLATE_LIMIT = 4096
+
+    def _bounds_fingerprint(self, problem: ABProblem) -> frozenset:
+        if self._bounds_key is None:
+            self._bounds_key = frozenset(
+                (var, low, high) for var, (low, high) in problem.bounds.items()
+            )
+        return self._bounds_key
+
+    def _domains_fingerprint(self, problem: ABProblem) -> frozenset:
+        if self._domains_key is None:
+            self._domains_key = frozenset(problem.variable_domains().items())
+        return self._domains_key
+
+    def _template_content(
+        self, problem: ABProblem, clause: Sequence[int]
+    ) -> Optional[Tuple]:
+        """Snapshot the definitions a clause mentions (None = not templatable)."""
+        content = []
+        for literal in clause:
+            definition = problem.definitions.get(abs(literal))
+            if definition is None:
+                return None
+            content.append((abs(literal), definition.domain, definition.constraint))
+        return tuple(content)
+
+    def register_blocking_template(
+        self, problem: ABProblem, clause: Sequence[int]
+    ) -> None:
+        """Remember a *definite* blocking clause for candidate short-cutting.
+
+        Called for every definite theory lemma (local derivations and
+        foreign lemmas imported by sessions).  Registration is idempotent
+        per sorted clause; clauses mentioning non-definition variables are
+        skipped (their derivation context cannot be fingerprinted).
+        """
+        key = tuple(sorted(clause))
+        if key in self._templates:
+            return
+        content = self._template_content(problem, clause)
+        if content is None:
+            return
+        if len(self._templates) >= self.BLOCKING_TEMPLATE_LIMIT:
+            self._templates.clear()
+        self._templates[key] = _BlockingTemplate(
+            list(clause),
+            content,
+            self._bounds_fingerprint(problem),
+            self._domains_fingerprint(problem),
+        )
+
+    def match_blocking_template(
+        self, problem: ABProblem, alpha: Assignment
+    ) -> Optional[List[int]]:
+        """A remembered clause the candidate violates, revalidated, or None.
+
+        A template applies when every literal of its clause is false under
+        ``alpha`` (the clause would have pruned this candidate, but the
+        Boolean solver no longer holds it — it was retracted by a ``pop``,
+        or it was learned by another worker/session) *and* its recorded
+        derivation context still matches the live problem.  A hit lets
+        :meth:`run_query` re-block the candidate without any theory check.
+        """
+        if not self._templates:
+            return None
+        get = alpha.get
+        bounds_key = self._bounds_fingerprint(problem)
+        domains_key = self._domains_fingerprint(problem)
+        for template in self._templates.values():
+            violated = all(
+                get(abs(literal), False) is (literal < 0)
+                for literal in template.clause
+            )
+            if not violated:
+                continue
+            if template.bounds_key != bounds_key:
+                continue
+            if template.domains_key != domains_key:
+                continue
+            if self._template_content(problem, template.clause) != template.content:
+                continue
+            return list(template.clause)
+        return None
 
     # ------------------------------------------------------------------
     # Query execution
@@ -748,6 +886,27 @@ class SolvePipeline:
                         ),
                     )
                 )
+            template = self.match_blocking_template(problem, alpha)
+            if template is not None:
+                # A previously-derived (and revalidated) lemma already rules
+                # this candidate out: re-block it without running stages 2-5.
+                stats.blocking_template_hits += 1
+                stats.blocking_clauses += 1
+                if bus.active:
+                    bus.publish(
+                        BlockingClauseAdded(
+                            iteration=iteration,
+                            blocking_size=len(template),
+                            definite=True,
+                        )
+                    )
+                if record_certificate:
+                    lemmas.append(list(template))
+                solver_clause = (
+                    on_lemma(list(template), True) if on_lemma is not None else template
+                )
+                self.candidate.block(solver_clause)
+                continue
             verdict = self.check_candidate(problem, alpha, domains)
             if verdict.feasible:
                 if bus.active:
@@ -771,6 +930,8 @@ class SolvePipeline:
             if not verdict.definite:
                 complete = False
             blocking = verdict.blocking or self.fallback_blocking_clause(problem, alpha)
+            if verdict.definite:
+                self.register_blocking_template(problem, blocking)
             stats.blocking_clauses += 1
             if bus.active:
                 bus.publish(

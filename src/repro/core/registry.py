@@ -100,6 +100,11 @@ def _build_default_registry() -> SolverRegistry:
         "simplex-warm",
         lambda **options: SimplexLinearAdapter(warm_start=True, **options),
     )
+    registry.register(
+        DOMAIN_LINEAR,
+        "simplex-numpy",
+        lambda **options: SimplexLinearAdapter(engine="numpy", **options),
+    )
     registry.register(DOMAIN_NONLINEAR, "newton", NewtonNonlinearAdapter)
     registry.register(DOMAIN_NONLINEAR, "auglag", AugLagNonlinearAdapter)
     try:

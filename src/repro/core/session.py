@@ -306,7 +306,12 @@ class SolverSession:
         if problem.name and self.problem.name == "session":
             self.problem.name = problem.name
 
-    def import_lemmas(self, clauses: Sequence[Sequence[int]], definite: bool = True) -> int:
+    def import_lemmas(
+        self,
+        clauses: Sequence[Sequence[int]],
+        definite: bool = True,
+        lazy: bool = False,
+    ) -> int:
         """Adopt theory lemmas derived elsewhere (e.g. by a parallel worker).
 
         Each clause must be over this session's variable numbering.  It is
@@ -317,13 +322,32 @@ class SolverSession:
         UNSAT evidence; importing with ``definite=False`` marks the session
         incomplete like a local indefinite block would.
 
+        With ``lazy=True`` (definite lemmas only) the clause is *not* pushed
+        into the Boolean solver's database; it is registered as a blocking
+        template instead.  If a later candidate violates it, the pipeline
+        re-blocks that candidate from the template — skipping the theory
+        check and the IIS re-derivation — and only then does the clause
+        enter the solver.  Parallel workers import foreign lemmas this way:
+        the clause database stays lean, and ``blocking_template_hits``
+        counts exactly the cross-worker deduplicated refinements.
+
         Returns the number of lemmas adopted (also counted in the session
         stats as ``lemmas_imported``).
         """
+        if lazy and not definite:
+            raise ValueError("lazy import applies to definite lemmas only")
         imported = 0
         for clause in clauses:
-            guarded = self._on_lemma(list(clause), definite)
-            self._send_clause(guarded)
+            if lazy:
+                self.pipeline.register_blocking_template(self.problem, clause)
+            else:
+                guarded = self._on_lemma(list(clause), definite)
+                self._send_clause(guarded)
+                if definite:
+                    # Definite foreign lemmas also become blocking templates,
+                    # so a candidate they rule out is re-blocked without a
+                    # theory check even after a pop retracts the guard.
+                    self.pipeline.register_blocking_template(self.problem, clause)
             imported += 1
         if imported:
             self.stats.registry.counter("lemmas_imported").value += imported

@@ -149,6 +149,29 @@ class ABSolverConfig:
     ordered *list*: "at each of those steps a list of solvers is used, if
     more than one solver is enabled for some domain and the preceding
     solvers thereof failed to provide a decent result" (Sec. 4).
+
+    Args:
+        boolean: registry name of the Boolean engine (``cdcl``,
+            ``cdcl-pre``, ``dpll``, ``lsat``).
+        linear: registry name of the linear engine (``simplex``,
+            ``simplex-numpy`` — float64 filter with exact certification,
+            ``simplex-presolve``, ``simplex-warm``, ``difference``,
+            ``branch-bound``).
+        nonlinear: ordered registry names tried in turn (``newton``,
+            ``auglag``, ``scipy-slsqp``).
+        refine_conflicts: shrink theory conflicts to an IIS before
+            blocking (off: block the full assignment).
+        use_interval_refuter: allow interval branch-and-prune to *prove*
+            nonlinear conflicts (UNSAT evidence).
+        record_certificate: record every theory lemma for
+            :func:`repro.core.certify.verify_certificate`.
+        max_iterations: control-loop iteration cap (then ``UNKNOWN``).
+        max_equality_splits: cap on negated-equation ``<``/``>`` splits
+            per candidate.
+        tolerance: float comparison tolerance for nonlinear model checks
+            (linear verdicts stay exact).
+        boolean_options / linear_options / nonlinear_options: extra
+            keyword arguments for the engine factories.
     """
 
     def __init__(

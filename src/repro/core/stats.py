@@ -71,6 +71,9 @@ class SolveStatistics:
         "lemmas_retracted",
         "bound_rows_cache_hits",
         "blocking_template_hits",
+        "numpy_accepts",
+        "numpy_fallbacks",
+        "cubes_split",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:

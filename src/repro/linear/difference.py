@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.expr import Relation
 from .lp import LinearConstraint, LinearSystem
-from .simplex import LPResult, LPStatus
+from .simplex import LPResult, LPStatus, SimplexSolver
 
 __all__ = ["DifferenceLogicSolver", "is_difference_row", "is_difference_system"]
 
@@ -48,7 +48,21 @@ class _Edge:
 
 
 def is_difference_row(row: LinearConstraint) -> bool:
-    """True for rows expressible as ``x - y REL c`` or ``±x REL c``."""
+    """True for rows expressible as ``x - y REL c`` or ``±x REL c``.
+
+    >>> from fractions import Fraction
+    >>> from repro.core.expr import Relation
+    >>> is_difference_row(
+    ...     LinearConstraint(
+    ...         {"x": Fraction(1), "y": Fraction(-1)}, Relation.LE, Fraction(3)
+    ...     )
+    ... )
+    True
+    >>> is_difference_row(
+    ...     LinearConstraint({"x": Fraction(2)}, Relation.LE, Fraction(3))
+    ... )
+    False
+    """
     coeffs = list(row.coeffs.values())
     if len(coeffs) == 0:
         return True  # trivial row; verdict checked directly
@@ -67,12 +81,65 @@ def is_difference_system(system: LinearSystem) -> bool:
 
 
 class DifferenceLogicSolver:
-    """Feasibility + negative-cycle cores for difference constraint systems."""
+    """Feasibility + negative-cycle cores for difference constraint systems.
+
+    ``warm_start`` enables two canonical-keyed certificate caches, both
+    keyed on the structural signature of the rows (normalized coefficients
+    + relations, bounds excluded — :meth:`SimplexSolver._structural_signature`):
+
+    * **feasible points** — after a feasible check the witness potentials
+      are cached, and a later check with the same structure re-validates
+      the point with exact arithmetic, an O(rows) scan that skips the
+      O(V·E) Bellman–Ford run when it succeeds (same scheme as
+      :meth:`SimplexSolver.check`);
+    * **infeasible cores** — after an infeasible check the negative
+      cycle's row shapes are cached, and a later check with the same
+      structure re-runs Bellman–Ford on *only the rows matching those
+      shapes* (a handful of rows instead of the whole component).  This
+      is the cache that pays in the lazy-SMT loop, where almost every
+      candidate check is a refutation: the same few-atom conflict recurs
+      across unroll depths with shifted bounds, and re-deriving it needs
+      only the tiny subgraph.
+
+    ``warm_hits`` counts both kinds of skip; verdicts are unaffected
+    because a failed validation always falls through to the full solve,
+    and a successful core re-validation returns a genuine negative cycle
+    of the *current* rows (so conflict cores stay sound).
+    """
+
+    #: Cap on cached warm-start certificates (structural signatures).
+    WARM_CACHE_LIMIT = 512
+
+    def __init__(self, warm_start: bool = False):
+        self.warm_start = warm_start
+        self.warm_hits = 0
+        self._warm_points: Dict[object, Dict[str, Fraction]] = {}
+        self._warm_cores: Dict[object, frozenset] = {}
+
+    def clear_warm_cache(self) -> None:
+        """Drop every cached feasible point and infeasible core."""
+        self._warm_points.clear()
+        self._warm_cores.clear()
 
     def check(self, system: LinearSystem) -> LPResult:
         """Decide feasibility; INFEASIBLE results carry the cycle as core."""
         if not is_difference_system(system):
             raise ValueError("system is outside the difference-logic fragment")
+        signature: Optional[object] = None
+        if self.warm_start:
+            signature = SimplexSolver._structural_signature(system.rows)
+            cached = self._warm_points.get(signature)
+            if cached is not None and SimplexSolver._point_satisfies(
+                system.rows, cached
+            ):
+                self.warm_hits += 1
+                return LPResult(LPStatus.FEASIBLE, dict(cached))
+            cached_core = self._warm_cores.get(signature)
+            if cached_core is not None:
+                revived = self._revalidate_core(system.rows, cached_core)
+                if revived is not None:
+                    self.warm_hits += 1
+                    return LPResult(LPStatus.INFEASIBLE, core_indices=revived)
         edges: List[_Edge] = []
         vertices: Set[str] = {_SOURCE}
         for index, row in enumerate(system.rows):
@@ -85,9 +152,52 @@ class DifferenceLogicSolver:
                 vertices.add(edge.u)
                 vertices.add(edge.v)
 
-        # Bellman-Ford from the virtual source (reaches every vertex via
-        # implicit 0-edges, which is equivalent to initializing all
-        # distances to 0).
+        distance, predecessor, updated_vertex = self._bellman_ford(edges, vertices)
+
+        if updated_vertex is not None:
+            cycle = self._extract_cycle(updated_vertex, predecessor, len(vertices))
+            core = sorted({edge.row_index for edge in cycle})
+            if signature is not None:
+                if len(self._warm_cores) >= self.WARM_CACHE_LIMIT:
+                    self._warm_cores.clear()
+                self._warm_cores[signature] = frozenset(
+                    self._row_key(system.rows[i]) for i in core
+                )
+            return LPResult(LPStatus.INFEASIBLE, core_indices=core)
+
+        # Feasible: distances are a model.  Strict edges hold with margin
+        # because the lexicographic strict count is respected: shift each
+        # distance by -s * eps for a small enough eps.
+        eps = self._strictness_epsilon(edges, distance)
+        point: Dict[str, Fraction] = {}
+        for vertex in vertices:
+            if vertex == _SOURCE:
+                continue
+            weight, strict_count = distance[vertex]
+            value = weight - eps * strict_count
+            # Solution orientation: constraints are v - u <= w along edges
+            # u->v is d(v) <= d(u) + w; x's value is d(x) - d(source).
+            point[vertex] = value - (distance[_SOURCE][0] - eps * distance[_SOURCE][1])
+        if signature is not None:
+            if len(self._warm_points) >= self.WARM_CACHE_LIMIT:
+                self._warm_points.clear()
+            self._warm_points[signature] = dict(point)
+        return LPResult(LPStatus.FEASIBLE, point)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bellman_ford(
+        edges: Sequence[_Edge], vertices: Set[str]
+    ) -> Tuple[
+        Dict[str, Tuple[Fraction, int]], Dict[str, Optional[_Edge]], Optional[str]
+    ]:
+        """Bellman–Ford from the virtual source (implicit 0-edges to every
+        vertex, i.e. all distances start at 0).
+
+        Returns ``(distance, predecessor, updated_vertex)``;
+        ``updated_vertex`` is non-None iff a relaxation still fired in the
+        final round, which witnesses a negative cycle reachable through it.
+        """
         distance: Dict[str, Tuple[Fraction, int]] = {v: (_ZERO, 0) for v in vertices}
         predecessor: Dict[str, Optional[_Edge]] = {v: None for v in vertices}
 
@@ -108,28 +218,51 @@ class DifferenceLogicSolver:
                     updated_vertex = edge.v
             if updated_vertex is None:
                 break
+        return distance, predecessor, updated_vertex
 
-        if updated_vertex is not None:
-            cycle = self._extract_cycle(updated_vertex, predecessor, len(vertices))
-            core = sorted({edge.row_index for edge in cycle})
-            return LPResult(LPStatus.INFEASIBLE, core_indices=core)
+    @staticmethod
+    def _row_key(row: LinearConstraint) -> object:
+        """One row's slice of the structural signature: normalized
+        coefficients + relation, bound excluded (matches the per-row
+        canonicalization in :meth:`SimplexSolver._structural_signature`)."""
+        items = sorted(row.coeffs.items())
+        if items:
+            scale = abs(items[0][1])
+            if scale not in (0, 1):
+                items = [(var, coeff / scale) for var, coeff in items]
+        return (tuple(items), row.relation)
 
-        # Feasible: distances are a model.  Strict edges hold with margin
-        # because the lexicographic strict count is respected: shift each
-        # distance by -s * eps for a small enough eps.
-        eps = self._strictness_epsilon(edges, distance)
-        point: Dict[str, Fraction] = {}
-        for vertex in vertices:
-            if vertex == _SOURCE:
+    def _revalidate_core(
+        self, rows: Sequence[LinearConstraint], core_keys: frozenset
+    ) -> Optional[List[int]]:
+        """Re-derive a negative cycle from only the rows matching a cached
+        core's shapes.
+
+        Every selected row is a real constraint of the *current* system, so
+        any negative cycle found in the subgraph is a sound conflict core
+        regardless of how the bounds moved since the core was cached.
+        Returns the core's row indices, or None when the subgraph is clean
+        (caller falls through to the full solve).
+        """
+        edges: List[_Edge] = []
+        vertices: Set[str] = {_SOURCE}
+        matched = False
+        for index, row in enumerate(rows):
+            if row.is_trivial() or self._row_key(row) not in core_keys:
                 continue
-            weight, strict_count = distance[vertex]
-            value = weight - eps * strict_count
-            # Solution orientation: constraints are v - u <= w along edges
-            # u->v is d(v) <= d(u) + w; x's value is d(x) - d(source).
-            point[vertex] = value - (distance[_SOURCE][0] - eps * distance[_SOURCE][1])
-        return LPResult(LPStatus.FEASIBLE, point)
+            matched = True
+            for edge in self._edges_of(row, index):
+                edges.append(edge)
+                vertices.add(edge.u)
+                vertices.add(edge.v)
+        if not matched:
+            return None
+        _, predecessor, updated_vertex = self._bellman_ford(edges, vertices)
+        if updated_vertex is None:
+            return None
+        cycle = self._extract_cycle(updated_vertex, predecessor, len(vertices))
+        return sorted({edge.row_index for edge in cycle})
 
-    # ------------------------------------------------------------------
     def _edges_of(self, row: LinearConstraint, index: int) -> List[_Edge]:
         """Translate one row into graph edges.
 

@@ -35,6 +35,21 @@ class LinearConstraint:
 
     ``tag`` is an opaque origin marker (ABsolver uses the DIMACS variable
     index of the defining Boolean variable, signed by phase).
+
+    Zero coefficients are dropped at construction and all numbers are
+    exact :class:`~fractions.Fraction` values:
+
+    >>> from fractions import Fraction
+    >>> from repro.core.expr import Relation
+    >>> row = LinearConstraint(
+    ...     {"x": Fraction(2), "y": Fraction(0)}, Relation.LE, Fraction(5)
+    ... )
+    >>> sorted(row.coeffs)
+    ['x']
+    >>> row.evaluate({"x": Fraction(2)})
+    True
+    >>> row.evaluate({"x": Fraction(3)})
+    False
     """
 
     __slots__ = ("coeffs", "relation", "bound", "tag")
@@ -213,7 +228,19 @@ class LinearSystem:
         return components
 
     def check_point(self, env: Mapping[str, Fraction], tolerance: float = 0.0) -> bool:
-        """True when every row (and integrality) holds at ``env``."""
+        """True when every row (and integrality) holds at ``env``.
+
+        >>> from fractions import Fraction
+        >>> from repro.core.expr import Relation
+        >>> system = LinearSystem(
+        ...     [LinearConstraint({"x": Fraction(1)}, Relation.GE, Fraction(1))]
+        ... )
+        >>> system.check_point({"x": Fraction(2)})
+        True
+        >>> system.set_domain("x", VariableDomain.INT)
+        >>> system.check_point({"x": Fraction(3, 2)})
+        False
+        """
         for var in self.integer_variables():
             if var in env and Fraction(env[var]).denominator != 1:
                 return False

@@ -193,10 +193,25 @@ class SimplexSolver:
 
     @staticmethod
     def _structural_signature(rows: Sequence[LinearConstraint]) -> object:
-        """Hashable key over coefficients and relations, ignoring bounds."""
-        return frozenset(
-            (tuple(sorted(row.coeffs.items())), row.relation) for row in rows
-        )
+        """Canonical hashable key over normalized rows, ignoring bounds.
+
+        Each row is normalized by the magnitude of its leading coefficient
+        (smallest variable name), so rows equal up to positive scaling —
+        ``2x - 2y <= 5`` and ``x - y <= 7`` — share a key.  Right-hand
+        sides are deliberately excluded: a later check whose rows differ
+        only in their bounds re-validates the cached point exactly before
+        answering, so signature collisions cost a failed validation, never
+        a wrong verdict.
+        """
+        canonical = set()
+        for row in rows:
+            items = sorted(row.coeffs.items())
+            if items:
+                scale = abs(items[0][1])
+                if scale not in (0, 1):
+                    items = [(var, coeff / scale) for var, coeff in items]
+            canonical.add((tuple(items), row.relation))
+        return frozenset(canonical)
 
     @staticmethod
     def _point_satisfies(
@@ -253,14 +268,26 @@ class SimplexSolver:
             return LPResult(LPStatus.FEASIBLE, {}, _ZERO)
         return None
 
-    def _solve(
-        self,
-        rows: Sequence[LinearConstraint],
-        objective: Optional[Dict[str, Fraction]],
-        maximize: bool,
-        epsilon_mode: bool = False,
-    ) -> LPResult:
-        self.pivots = 0
+    def _normalized_le_form(
+        self, rows: Sequence[LinearConstraint], epsilon_mode: bool
+    ) -> Tuple[
+        List[str],
+        Dict[str, int],
+        Dict[str, int],
+        List[Tuple[Dict[int, Fraction], Fraction]],
+        List[Optional[int]],
+    ]:
+        """Normalize ``rows`` to ``A x <= b`` over split non-negative columns.
+
+        Returns ``(variables, col_of_pos, col_of_neg, normalized, source_of)``
+        where each free variable ``v`` owns two columns (``v+``, ``v-``), the
+        epsilon variable (strict-inequality mode) owns one, ``normalized`` is
+        a list of ``(sparse column -> coefficient, bound)`` pairs and
+        ``source_of[i]`` is the index of the originating input row (``None``
+        for the synthetic epsilon cap).  Shared by the exact tableau build
+        and the float64 path of
+        :class:`repro.linear.numpy_simplex.NumpySimplexSolver`.
+        """
         variables = sorted({v for row in rows for v in row.coeffs})
         if epsilon_mode:
             variables.append(EPSILON_VAR)
@@ -321,8 +348,20 @@ class SimplexSolver:
         if epsilon_mode:
             # 0 <= eps <= 1 (upper bound keeps the LP bounded).
             add_le({}, _ONE, _ONE, None)
+        return variables, col_of_pos, col_of_neg, normalized, source_of
 
-        num_structural = next_col
+    def _solve(
+        self,
+        rows: Sequence[LinearConstraint],
+        objective: Optional[Dict[str, Fraction]],
+        maximize: bool,
+        epsilon_mode: bool = False,
+    ) -> LPResult:
+        self.pivots = 0
+        variables, col_of_pos, col_of_neg, normalized, source_of = (
+            self._normalized_le_form(rows, epsilon_mode)
+        )
+        num_structural = len(col_of_pos) + len(col_of_neg)
         num_rows = len(normalized)
         slack_base = num_structural
         artificial_base = slack_base + num_rows

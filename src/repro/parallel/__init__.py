@@ -9,7 +9,7 @@ the rest of the package is its machinery — the picklable task protocol
 """
 
 from .coordinator import ParallelSolver, default_cube_depth
-from .cubes import build_cubes, generate_cubes, pick_split_variables
+from .cubes import build_cubes, generate_cubes, pick_split_variables, split_cube
 from .portfolio import portfolio_specs
 from .tasks import ConfigSpec, SolveTask, WorkerOutcome
 
@@ -22,5 +22,6 @@ __all__ = [
     "pick_split_variables",
     "generate_cubes",
     "build_cubes",
+    "split_cube",
     "default_cube_depth",
 ]

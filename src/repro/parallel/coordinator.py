@@ -5,14 +5,19 @@ when available, spawn-safe otherwise) and solves AB-problems across it in
 two modes:
 
 * ``cube`` — cube-and-conquer: the problem is split into ``2^k`` guarded
-  cubes (see :mod:`repro.parallel.cubes`), each solved as an independent
-  ``SolverSession.check`` under the cube's assumption literals.  The join
-  is the Kleene three-valued conjunction of the sequential loop: any SAT
-  cube wins immediately (remaining cubes are cancelled), all-UNSAT joins
-  to UNSAT, and an UNKNOWN cube poisons an otherwise-UNSAT join to
-  UNKNOWN.  All-models enumeration shards the same cubes as unit clauses,
-  so each worker enumerates a disjoint subspace and the union (in cube
-  order) is the full model set.
+  cubes (lookahead-scored, see :mod:`repro.parallel.cubes`), each solved
+  as an independent ``SolverSession.check`` under the cube's assumption
+  literals.  The join is the Kleene three-valued conjunction of the
+  sequential loop: any SAT cube wins immediately (remaining cubes are
+  cancelled), all-UNSAT joins to UNSAT, and an UNKNOWN cube poisons an
+  otherwise-UNSAT join to UNKNOWN.  The split is **dynamic**: a worker
+  that exhausts its ``split_budget`` on a hard cube replies with two
+  lookahead-refined subcubes instead of a verdict, and the coordinator
+  enqueues them as fresh tasks — idle workers steal halves of whichever
+  cube turned out hardest, and the split parent joins as the conjunction
+  of its children.  All-models enumeration shards the static cubes as
+  unit clauses, so each worker enumerates a disjoint subspace and the
+  union (in cube order) is the full model set.
 * ``portfolio`` — the diversified config ladder of
   :mod:`repro.parallel.portfolio` races on the whole problem; the first
   *definite* verdict (SAT or UNSAT) wins and cancels the rest.  UNKNOWN
@@ -66,6 +71,13 @@ def default_cube_depth(jobs: int) -> int:
     return max(1, int(math.ceil(math.log2(jobs)))) if jobs > 1 else 0
 
 
+#: Default self-split conflict budget for cube tasks (pipeline iterations a
+#: worker spends on one cube before handing back two refined subcubes).
+#: Large enough that easy cubes finish outright; small enough that one
+#: pathological cube cannot serialise the whole solve.
+DEFAULT_SPLIT_BUDGET = 64
+
+
 class ParallelSolver:
     """Solve AB-problems across a multiprocessing worker pool.
 
@@ -99,6 +111,7 @@ class ParallelSolver:
         deterministic: bool = False,
         share_lemmas: bool = True,
         grace: float = 2.0,
+        split_budget: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -112,6 +125,12 @@ class ParallelSolver:
         self.deterministic = deterministic
         self.share_lemmas = share_lemmas
         self.grace = grace
+        #: Pipeline-iteration budget after which a worker abandons a hard
+        #: cube and returns two lookahead-refined subcubes for other
+        #: workers to steal.  ``None`` picks :data:`DEFAULT_SPLIT_BUDGET`
+        #: in cube mode; ``0`` disables dynamic splitting.  Deterministic
+        #: runs never split (child task ids would depend on arrival order).
+        self.split_budget = split_budget
 
         self.tracer = getattr(self.config, "tracer", None) or NULL_TRACER
         self.bus = getattr(self.config, "event_bus", None) or EventBus()
@@ -148,18 +167,37 @@ class ParallelSolver:
     def _pool_alive(self) -> bool:
         return bool(self._workers) and all(w.is_alive() for w in self._workers)
 
+    def worker_count(self) -> int:
+        """Processes actually spawned — ``jobs`` capped at the core count.
+
+        Cube tasks are *homogeneous*: every cube runs the same
+        configuration, so racing more of them than there are cores only
+        time-slices the same total work across more sessions, each
+        re-deriving conflicts the others already refined (measured ~2x
+        slower on a 1-core box).  The cap turns surplus jobs into a work
+        queue the active workers drain — ``jobs`` keeps its meaning as
+        the partition width.  Portfolio tasks are *heterogeneous*: the
+        race between algorithmically diverse configs is the mechanism
+        itself (the specialist wins by orders of magnitude, so slicing
+        costs little), and it must not be capped.
+        """
+        if self.mode == "portfolio":
+            return self.jobs
+        return min(self.jobs, max(1, os.cpu_count() or 1))
+
     def _ensure_pool(self) -> None:
         if self._pool_alive():
             return
         if self._workers:  # stale pool (terminated after a timeout)
             self._teardown(terminate=True)
         ctx = self._ctx
+        count = self.worker_count()
         self._task_queue = ctx.Queue()
         self._result_queue = ctx.Queue()
-        self._lemma_queues = [ctx.Queue() for _ in range(self.jobs)]
+        self._lemma_queues = [ctx.Queue() for _ in range(count)]
         self._gen_value = ctx.Value("i", self._generation)
         self._workers = []
-        for worker_id in range(self.jobs):
+        for worker_id in range(count):
             process = ctx.Process(
                 target=worker_main,
                 args=(
@@ -300,13 +338,15 @@ class ParallelSolver:
 
         The session's problem snapshot (all frames flattened, guards
         removed) ships to the workers; afterwards every shared lemma is
-        imported back into the session — guarded by the deepest justifying
-        frame, exactly like a locally-derived lemma — so subsequent
-        sequential checks benefit from the parallel run's work.
+        imported back into the session *lazily* — registered as a blocking
+        template, the same policy workers use for foreign lemmas — so a
+        later sequential check re-blocks any candidate a worker already
+        refuted (``blocking_template_hits``) without bloating the
+        session's clause database.
         """
         result = self.solve(session.problem, assumptions)
         if self.shared_lemmas:
-            session.import_lemmas(self.shared_lemmas)
+            session.import_lemmas(self.shared_lemmas, lazy=True)
         return result
 
     # ------------------------------------------------------------------
@@ -372,6 +412,7 @@ class ParallelSolver:
                 else default_cube_depth(self.jobs)
             )
             cubes = build_cubes(problem, depth)
+            budget = self._effective_split_budget()
             for index, cube in enumerate(cubes):
                 tasks.append(
                     SolveTask(
@@ -384,9 +425,18 @@ class ParallelSolver:
                         cube=cube,
                         trace=trace,
                         share_lemmas=self.share_lemmas,
+                        split_budget=budget,
                     )
                 )
         return tasks
+
+    def _effective_split_budget(self) -> int:
+        """The per-cube self-split budget for this solve (0 = disabled)."""
+        if self.deterministic or self.jobs <= 1:
+            return 0
+        if self.split_budget is None:
+            return DEFAULT_SPLIT_BUDGET
+        return max(0, self.split_budget)
 
     def _early_stop_predicate(self):
         if self.deterministic:
@@ -421,8 +471,14 @@ class ParallelSolver:
             if timed_out:
                 reason = reason or f"parallel timeout after {self.timeout}s"
             return ABResult(ABStatus.UNKNOWN, stats=stats, reason=reason)
-        # Cube mode: Kleene conjunction over the cube partition.
-        if all(o.status == "unsat" for o in ordered) and len(ordered) == len(tasks):
+        # Cube mode: Kleene conjunction over the cube partition.  A
+        # "split" outcome is resolved by its two children (both present in
+        # ``tasks`` and ``ordered`` by construction), so it joins like
+        # their conjunction — which the children contribute themselves.
+        if (
+            all(o.status in ("unsat", WorkerOutcome.SPLIT) for o in ordered)
+            and len(ordered) == len(tasks)
+        ):
             return ABResult(ABStatus.UNSAT, stats=stats)
         if timed_out:
             return ABResult(
@@ -455,16 +511,25 @@ class ParallelSolver:
         registry.counter("parallel_tasks").value = len(tasks)
         if self.mode == "cube" or tasks and tasks[0].kind == SolveTask.ALL_MODELS:
             registry.counter("cubes_dispatched").value = len(tasks)
-        registry.counter("parallel_workers").value = self.jobs
+        registry.counter("parallel_workers").value = self.worker_count()
         registry.counter("lemmas_shared").value = self._lemmas_shared
         registry.counter("lemmas_deduped").value = self._lemmas_deduped
         registry.counter("parallel_cancellations").value = self._cancellations
+        registry.counter("cubes_split").value = sum(
+            1
+            for outcome in outcomes.values()
+            if outcome.status == WorkerOutcome.SPLIT
+        )
         self.last_tasks = [
             (
-                outcomes[i].label if i in outcomes else tasks[i].spec.label,
-                outcomes[i].status if i in outcomes else "lost",
+                outcomes[task.task_id].label
+                if task.task_id in outcomes
+                else task.spec.label,
+                outcomes[task.task_id].status
+                if task.task_id in outcomes
+                else "lost",
             )
-            for i in range(len(tasks))
+            for task in tasks
         ]
         self._last_worker_events = [
             event
@@ -500,6 +565,7 @@ class ParallelSolver:
         self._lemmas_deduped = 0
         self._cancellations = 0
         cancelled = False
+        decisive = False
         timed_out = False
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
@@ -531,6 +597,44 @@ class ParallelSolver:
             outcome: WorkerOutcome = message[1]
             if outcome.gen != gen:
                 continue  # stray reply from a previous generation
+            if outcome.status == WorkerOutcome.SPLIT:
+                if cancelled or not outcome.subcubes:
+                    # The solve is already winding down (or the split is
+                    # malformed): the children will never run, so the
+                    # parent cube stays undecided.  Recording it as a
+                    # split would let the Kleene join count it as
+                    # resolved-by-children — children it does not have.
+                    outcome.status = WorkerOutcome.CANCELLED
+                    outcome.reason = outcome.reason or "cancelled before split"
+                else:
+                    parent = next(
+                        t for t in tasks if t.task_id == outcome.task_id
+                    )
+                    for child_index, subcube in enumerate(outcome.subcubes):
+                        extra = subcube[len(parent.cube):]
+                        child = SolveTask(
+                            task_id=len(tasks),
+                            gen=gen,
+                            kind=SolveTask.CHECK,
+                            problem=parent.problem,
+                            spec=parent.spec.copy(
+                                label=f"{parent.spec.label}.{child_index}"
+                            ),
+                            assumptions=tuple(parent.assumptions) + tuple(extra),
+                            cube=subcube,
+                            trace=parent.trace,
+                            share_lemmas=parent.share_lemmas,
+                            split_budget=parent.split_budget,
+                        )
+                        tasks.append(child)
+                        if bus.active:
+                            bus.publish(
+                                CubeDispatched(
+                                    task=child.task_id,
+                                    literals=len(child.cube),
+                                )
+                            )
+                        self._task_queue.put(child)
             outcomes[outcome.task_id] = outcome
             arrival.append(outcome)
             if bus.active:
@@ -548,16 +652,30 @@ class ParallelSolver:
                 and early_stop(outcome)
             ):
                 cancelled = True
+                decisive = True
                 self._cancel(
                     reason=f"first {outcome.status}",
                     pending=len(tasks) - len(outcomes),
                 )
+                # The verdict is already decided: return now instead of
+                # waiting for the losers to notice the generation bump at
+                # their next poll (mid-refinement, that can be seconds).
+                # Their stale replies carry the old generation and are
+                # dropped by the next solve's collect loop; the pool
+                # itself stays healthy and reusable.
+                break
 
-        if len(outcomes) < len(tasks):
+        if len(outcomes) < len(tasks) and not decisive:
             # Grace expired with workers still busy: terminate the pool —
             # a timed-out solve must not leak orphan processes — and
             # account for the lost tasks explicitly.
             self._teardown(terminate=True)
+        if len(outcomes) < len(tasks):
+            reason = (
+                "superseded by decisive verdict"
+                if decisive
+                else "terminated after timeout"
+            )
             for task in tasks:
                 if task.task_id not in outcomes:
                     lost = WorkerOutcome(
@@ -565,7 +683,7 @@ class ParallelSolver:
                         worker_id=-1,
                         gen=gen,
                         status=WorkerOutcome.CANCELLED,
-                        reason="terminated after timeout",
+                        reason=reason,
                         label=task.spec.label,
                     )
                     outcomes[task.task_id] = lost

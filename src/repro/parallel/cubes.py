@@ -2,13 +2,16 @@
 
 Cube-and-conquer (Heule et al.) partitions the search space into ``2^k``
 *cubes* — conjunctions of decision literals — solved independently.  The
-quality of the split variables dominates the payoff, and full lookahead
-(probe both phases, measure propagation) is expensive; this splitter uses
-the classic cheap proxy instead: **occurrence counting** over the CNF,
-restricted to the Tseitin/definition variables.  A definition variable that
-appears in many clauses both (a) propagates widely when decided and (b)
-pins a theory constraint's phase, so each cube constrains both the Boolean
-and the arithmetic side of the AB-problem.
+quality of the split variables dominates the payoff.  This splitter ranks
+candidates with a cheap **one-step lookahead**: for each phase of a
+candidate variable it scores how much the CNF would shrink if that literal
+were decided (binary clauses become units and propagate; longer clauses
+shorten, weighted geometrically), then combines the two phases as a
+product.  The product rewards *balanced* splitters — a variable whose
+positive phase propagates everything but whose negative phase propagates
+nothing splits the work 99/1 and helps no one.  Definition variables are
+preferred (deciding one fixes a theory atom's phase), so each cube
+constrains both the Boolean and the arithmetic side of the AB-problem.
 
 The split is exhaustive and disjoint by construction: the ``2^k`` sign
 combinations of the chosen variables partition the assignment space, so
@@ -17,24 +20,66 @@ combinations of the chosen variables partition the assignment space, so
 * UNSAT of *all* cubes is UNSAT of the problem,
 * an UNKNOWN cube poisons an otherwise-UNSAT join to UNKNOWN
   (Kleene three-valued conjunction, same as the sequential loop).
+
+:func:`split_cube` extends a single cube by the next best unused variable
+— the dynamic-splitting primitive used by workers that exhaust their
+conflict budget on a hard cube and hand refined subcubes back to the
+coordinator (see :mod:`repro.parallel.worker`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.problem import ABProblem
 
-__all__ = ["pick_split_variables", "generate_cubes", "build_cubes"]
+__all__ = [
+    "pick_split_variables",
+    "generate_cubes",
+    "build_cubes",
+    "split_cube",
+]
+
+#: Occurrence-ranked candidates kept for the (quadratic-ish) lookahead
+#: scoring pass.  Lookahead is linear in the clauses mentioning the
+#: candidate, so a small pool keeps splitting O(CNF) in practice.
+_LOOKAHEAD_POOL = 32
+
+
+def _phase_scores(
+    problem: ABProblem, candidates: Sequence[int]
+) -> Dict[int, float]:
+    """One-step propagation score for each literal of each candidate.
+
+    Deciding literal ``L`` removes ``¬L`` from every clause containing it.
+    A binary clause becomes a unit (weight 1.0 — it *will* propagate);
+    longer clauses merely shorten, weighted ``5^(2 - len)`` in the classic
+    lookahead style, so a ternary clause counts 0.2, a quaternary 0.04.
+    Clauses satisfied by ``L`` itself contribute nothing — they vanish
+    rather than tighten.
+    """
+    wanted = set(candidates)
+    scores: Dict[int, float] = {}
+    for clause in problem.cnf.clauses:
+        if len(clause) < 2:
+            continue
+        weight = 5.0 ** (2 - len(clause))
+        for literal in clause:
+            if abs(literal) in wanted:
+                # Deciding -literal shrinks this clause.
+                scores[-literal] = scores.get(-literal, 0.0) + weight
+    return scores
 
 
 def pick_split_variables(problem: ABProblem, k: int) -> List[int]:
-    """The ``k`` best split variables, ranked by CNF occurrence count.
+    """The ``k`` best split variables, by one-step lookahead score.
 
-    Definition variables are preferred (deciding one fixes a theory atom's
-    phase); when the problem has fewer than ``k`` of them, the remaining
-    slots are filled with the most frequent undefined variables.  Ties
-    break on the smaller variable index, so the choice is deterministic.
+    Candidates are pre-ranked by CNF occurrence count (definition
+    variables first — deciding one fixes a theory atom's phase), the top
+    :data:`_LOOKAHEAD_POOL` survivors are lookahead-scored per phase, and
+    the final rank is the product ``(1 + score(+v)) * (1 + score(-v))``,
+    which favours variables that propagate *in both phases*.  Ties break
+    on the smaller variable index, so the choice is deterministic.
     Returns at most ``k`` variables (fewer when the problem is smaller).
     """
     if k <= 0:
@@ -45,19 +90,28 @@ def pick_split_variables(problem: ABProblem, k: int) -> List[int]:
             var = abs(literal)
             occurrences[var] = occurrences.get(var, 0) + 1
 
-    def ranked(candidates) -> List[int]:
+    def ranked(candidates: Iterable[int]) -> List[int]:
         return sorted(candidates, key=lambda var: (-occurrences.get(var, 0), var))
 
     defined = ranked(problem.definitions)
-    chosen = defined[:k]
-    if len(chosen) < k:
+    pool = defined[:_LOOKAHEAD_POOL]
+    if len(pool) < _LOOKAHEAD_POOL:
         rest = ranked(
             var
             for var in range(1, problem.cnf.num_vars + 1)
             if var not in problem.definitions and var in occurrences
         )
-        chosen.extend(rest[: k - len(chosen)])
-    return chosen
+        pool.extend(rest[: _LOOKAHEAD_POOL - len(pool)])
+
+    phase = _phase_scores(problem, pool)
+    preferred = set(problem.definitions)
+
+    def lookahead_rank(var: int) -> Tuple[int, float, int]:
+        balance = (1.0 + phase.get(var, 0.0)) * (1.0 + phase.get(-var, 0.0))
+        # Definition variables first, then descending balance, then index.
+        return (0 if var in preferred else 1, -balance, var)
+
+    return sorted(pool, key=lookahead_rank)[:k]
 
 
 def generate_cubes(variables: Sequence[int]) -> List[Tuple[int, ...]]:
@@ -84,3 +138,23 @@ def generate_cubes(variables: Sequence[int]) -> List[Tuple[int, ...]]:
 def build_cubes(problem: ABProblem, depth: int) -> List[Tuple[int, ...]]:
     """Split ``problem`` into ``2^depth`` cubes (fewer when it is tiny)."""
     return generate_cubes(pick_split_variables(problem, depth))
+
+
+def split_cube(
+    problem: ABProblem, cube: Sequence[int]
+) -> Optional[List[Tuple[int, ...]]]:
+    """Refine ``cube`` into two disjoint subcubes on a fresh variable.
+
+    Picks the best lookahead-ranked variable not already assigned by the
+    cube and returns ``[cube + (+v,), cube + (-v,)]`` — together they
+    cover exactly the assignments the parent covered, so replacing a
+    pending task with its two children preserves the exhaustive-disjoint
+    invariant of the cube join.  Returns ``None`` when every ranked
+    variable is already in the cube (the cube cannot be split further).
+    """
+    assigned = {abs(literal) for literal in cube}
+    for var in pick_split_variables(problem, len(assigned) + 1 + _LOOKAHEAD_POOL):
+        if var not in assigned:
+            base = tuple(cube)
+            return [base + (var,), base + (-var,)]
+    return None

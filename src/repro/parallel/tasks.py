@@ -150,6 +150,7 @@ class SolveTask:
         "trace",
         "model_limit",
         "share_lemmas",
+        "split_budget",
     )
 
     #: ``kind`` values.
@@ -168,6 +169,7 @@ class SolveTask:
         trace: bool = False,
         model_limit: Optional[int] = None,
         share_lemmas: bool = True,
+        split_budget: int = 0,
     ):
         self.task_id = task_id
         self.gen = gen
@@ -182,6 +184,10 @@ class SolveTask:
         self.trace = trace
         self.model_limit = model_limit
         self.share_lemmas = share_lemmas
+        #: Conflict budget after which a CHECK task abandons the cube and
+        #: returns a :attr:`WorkerOutcome.SPLIT` outcome carrying two
+        #: subcubes instead of a verdict.  ``0`` disables self-splitting.
+        self.split_budget = split_budget
 
     def __repr__(self) -> str:
         return (
@@ -205,12 +211,16 @@ class WorkerOutcome:
         "trace_events",
         "error",
         "label",
+        "subcubes",
     )
 
     #: ``status`` values beyond the verdict strings "sat"/"unsat"/"unknown".
     CANCELLED = "cancelled"
     MODELS = "models"
     ERROR = "error"
+    #: The worker gave up on a hard cube and handed back refined subcubes;
+    #: the coordinator enqueues them as fresh tasks (work stealing).
+    SPLIT = "split"
 
     def __init__(
         self,
@@ -225,6 +235,7 @@ class WorkerOutcome:
         trace_events: Optional[List[Dict[str, Any]]] = None,
         error: str = "",
         label: str = "",
+        subcubes: Optional[List[Tuple[int, ...]]] = None,
     ):
         self.task_id = task_id
         self.worker_id = worker_id
@@ -237,6 +248,9 @@ class WorkerOutcome:
         self.trace_events = trace_events
         self.error = error
         self.label = label
+        #: For :attr:`SPLIT` outcomes: the replacement cubes (each already
+        #: including the parent cube's literals).
+        self.subcubes = subcubes
 
     def __repr__(self) -> str:
         return (

@@ -21,24 +21,116 @@
 Indefinite lemmas (candidates the nonlinear stage could neither satisfy
 nor refute) are *not* shared: they are "we could not decide" markers, not
 theorems, and adopting one would silently propagate incompleteness.
+
+Two hot-path mechanisms live here:
+
+* **Persistent sessions** — ``check`` tasks for the same (problem, config)
+  pair reuse one :class:`~repro.core.session.SolverSession` per worker
+  process instead of rebuilding it per cube.  Cube literals are per-query
+  *assumptions*, so the session's base state — asserted CNF, translation
+  cache, simplex warm-start points, learned theory lemmas, blocking
+  templates — carries over from cube to cube.  Theory lemmas are
+  consequences of the problem's definitions alone (never of the cube
+  assumptions), so reuse across cubes is sound for exactly the reason
+  cross-worker lemma sharing is.
+* **Budget-based self-splitting** — a ``check`` task with a positive
+  ``split_budget`` that is still undecided after that many pipeline
+  iterations abandons the cube and replies with a
+  :attr:`~repro.parallel.tasks.WorkerOutcome.SPLIT` outcome carrying two
+  lookahead-refined subcubes (:func:`repro.parallel.cubes.split_cube`).
+  The coordinator enqueues them as fresh tasks, so idle workers steal
+  halves of whichever cube turned out hardest.
+
+Foreign lemmas are adopted **lazily** (``import_lemmas(..., lazy=True)``):
+the clause is registered as a blocking template in the pipeline rather
+than pushed into the CDCL clause database.  A candidate violating it is
+blocked before the theory stages run — counted as a
+``blocking_template_hits`` — which deduplicates IIS refinement work across
+workers without bloating each worker's Boolean solver.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
 import traceback
-from typing import List
+from typing import Dict, List
 
 from ..core.session import SolverSession
 from ..core.solver import ABSolver, ABStatus
 from ..obs.trace import SpanTracer
+from .cubes import split_cube
 from .tasks import SolveTask, WorkerOutcome
 
 __all__ = ["worker_main"]
 
+#: Persistent per-process session cache: (problem, config) fingerprint ->
+#: a live session with the problem asserted.  Small, because a worker
+#: rarely sees more than one problem per coordinator lifetime.
+_SESSIONS: Dict[tuple, SolverSession] = {}
+_SESSION_LIMIT = 4
+
+
+def _spec_fingerprint(spec) -> tuple:
+    """A hashable identity for the solver configuration a task runs under."""
+    return (
+        spec.boolean,
+        spec.linear,
+        spec.nonlinear,
+        spec.refine_conflicts,
+        spec.use_interval_refuter,
+        spec.max_iterations,
+        spec.max_equality_splits,
+        spec.tolerance,
+        tuple(sorted(spec.boolean_options.items())),
+        tuple(sorted(spec.linear_options.items())),
+        tuple(sorted(spec.nonlinear_options.items())),
+        tuple(sorted(spec.refuter_options.items())),
+        spec.seed,
+    )
+
+
+def _problem_fingerprint(problem) -> tuple:
+    """A hashable identity for the problem content (tasks arrive pickled,
+    so object identity never survives the process boundary)."""
+    return (
+        problem.cnf.num_vars,
+        tuple(tuple(clause) for clause in problem.cnf.clauses),
+        tuple(
+            (var, definition.domain, definition.constraint)
+            for var, definition in sorted(problem.definitions.items())
+        ),
+        tuple(sorted(problem.bounds.items())),
+    )
+
+
+def _session_for(task: SolveTask, tracer=None) -> SolverSession:
+    """The persistent session for this task, building it on first use.
+
+    Traced tasks always get a fresh session so their Chrome events stay
+    scoped to the one task being debugged.
+    """
+    if task.trace:
+        session = SolverSession(task.spec.to_config(tracer=tracer))
+        session.assert_problem(task.problem)
+        return session
+    key = (_spec_fingerprint(task.spec), _problem_fingerprint(task.problem))
+    session = _SESSIONS.get(key)
+    if session is None:
+        if len(_SESSIONS) >= _SESSION_LIMIT:
+            _SESSIONS.clear()
+        session = SolverSession(task.spec.to_config())
+        session.assert_problem(task.problem)
+        _SESSIONS[key] = session
+    return session
+
 
 def _drain_lemmas(session: SolverSession, lemma_queue, gen: int) -> None:
-    """Adopt every queued foreign lemma stamped with the current generation."""
+    """Adopt every queued foreign lemma stamped with the current generation.
+
+    Lazy import: the clause becomes a blocking *template* (matched against
+    candidates before the theory stages) instead of a CDCL clause, so
+    cross-worker deduplication costs nothing in Boolean search state.
+    """
     while True:
         try:
             stamped_gen, clause = lemma_queue.get_nowait()
@@ -47,13 +139,11 @@ def _drain_lemmas(session: SolverSession, lemma_queue, gen: int) -> None:
         except (EOFError, OSError):  # queue torn down under us
             return
         if stamped_gen == gen:
-            session.import_lemmas([clause])
+            session.import_lemmas([clause], lazy=True)
 
 
 def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value, tracer):
-    config = task.spec.to_config(tracer=tracer)
-    session = SolverSession(config)
-    session.assert_problem(task.problem)
+    session = _session_for(task, tracer)
 
     if task.share_lemmas:
         def stream_lemma(clause: List[int], definite: bool) -> None:
@@ -61,15 +151,39 @@ def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_v
                 result_queue.put(("lemma", task.gen, worker_id, clause))
 
         session.lemma_listener = stream_lemma
+    else:
+        session.lemma_listener = None
+
+    # Plan the split up front (it is deterministic and independent of the
+    # search), so the budget only ever aborts a cube we can actually
+    # refine; unsplittable cubes run to completion.
+    planned_subcubes = (
+        split_cube(task.problem, task.cube) if task.split_budget > 0 else None
+    )
+    iterations = 0
+    split_requested = False
 
     def poll() -> bool:
+        nonlocal iterations, split_requested
         _drain_lemmas(session, lemma_queue, task.gen)
-        return gen_value.value == task.gen
+        if gen_value.value != task.gen:
+            return False
+        if planned_subcubes is not None:
+            iterations += 1
+            if iterations > task.split_budget:
+                split_requested = True
+                return False
+        return True
 
     result = session.check(task.assumptions, poll=poll)
     status = result.status.value
+    subcubes = None
     if result.status is ABStatus.UNKNOWN and result.reason == "cancelled":
-        status = WorkerOutcome.CANCELLED
+        if split_requested and gen_value.value == task.gen:
+            status = WorkerOutcome.SPLIT
+            subcubes = planned_subcubes
+        else:
+            status = WorkerOutcome.CANCELLED
     return WorkerOutcome(
         task_id=task.task_id,
         worker_id=worker_id,
@@ -79,6 +193,7 @@ def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_v
         reason=result.reason,
         stats=result.stats,
         label=task.spec.label,
+        subcubes=subcubes,
     )
 
 

@@ -105,6 +105,59 @@ class TestFeasibility:
         assert SimplexSolver().check(LinearSystem(core_rows)).status is LPStatus.INFEASIBLE
 
 
+class TestWarmCertificates:
+    def test_feasible_point_cache_hits_on_rerun(self):
+        solver = DifferenceLogicSolver(warm_start=True)
+        system = LinearSystem([row("x - y <= 3"), row("y <= 1")])
+        assert solver.check(system).status is LPStatus.FEASIBLE
+        assert solver.warm_hits == 0
+        assert solver.check(system).status is LPStatus.FEASIBLE
+        assert solver.warm_hits == 1
+
+    def test_infeasible_core_cache_hits_across_bound_shift(self):
+        solver = DifferenceLogicSolver(warm_start=True)
+        # Same structure, different bounds, both with a negative cycle:
+        # the second check should revive the cached core's shape instead
+        # of running Bellman-Ford over the whole system.
+        first = LinearSystem(
+            [row("a <= 10"), row("x - y <= -2"), row("y - x <= 1")]
+        )
+        second = LinearSystem(
+            [row("a <= 99"), row("x - y <= -7"), row("y - x <= 2")]
+        )
+        assert solver.check(first).status is LPStatus.INFEASIBLE
+        assert solver.warm_hits == 0
+        result = solver.check(second)
+        assert result.status is LPStatus.INFEASIBLE
+        assert solver.warm_hits == 1
+        # The revived core must be a genuine infeasible subset of the
+        # *current* rows, not of the rows it was cached from.
+        core_rows = [second.rows[i] for i in result.core_indices]
+        assert SimplexSolver().check(LinearSystem(core_rows)).status is (
+            LPStatus.INFEASIBLE
+        )
+
+    def test_stale_core_falls_through_to_full_solve(self):
+        solver = DifferenceLogicSolver(warm_start=True)
+        infeasible = LinearSystem([row("x - y <= -2"), row("y - x <= 1")])
+        assert solver.check(infeasible).status is LPStatus.INFEASIBLE
+        # Same structure but the bounds now admit a solution: the cached
+        # core must fail re-validation and the verdict must flip cleanly.
+        feasible = LinearSystem([row("x - y <= 2"), row("y - x <= 1")])
+        result = solver.check(feasible)
+        assert result.status is LPStatus.FEASIBLE
+        assert feasible.check_point(result.point)
+        assert solver.warm_hits == 0
+
+    def test_clear_warm_cache_drops_both_caches(self):
+        solver = DifferenceLogicSolver(warm_start=True)
+        solver.check(LinearSystem([row("x - y <= 3")]))
+        solver.check(LinearSystem([row("x - y <= -1"), row("y - x <= 0")]))
+        assert solver._warm_points and solver._warm_cores
+        solver.clear_warm_cache()
+        assert not solver._warm_points and not solver._warm_cores
+
+
 @st.composite
 def random_difference_system(draw):
     num_vars = draw(st.integers(2, 5))
@@ -137,3 +190,22 @@ class TestAgreementWithSimplex:
         else:
             core_rows = [system.rows[i] for i in bf.core_indices]
             assert SimplexSolver().check(LinearSystem(core_rows)).status is LPStatus.INFEASIBLE
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(random_difference_system(), min_size=2, max_size=5))
+    def test_warm_certificates_never_change_verdicts(self, systems):
+        # One warm solver across a sequence of related systems: every
+        # verdict (and core, when infeasible) must match a cold simplex.
+        warm = DifferenceLogicSolver(warm_start=True)
+        for system in systems:
+            bf = warm.check(system)
+            lp = SimplexSolver().check(system)
+            assert bf.status == lp.status
+            if bf.status is LPStatus.FEASIBLE:
+                assert system.check_point(bf.point)
+            else:
+                core_rows = [system.rows[i] for i in bf.core_indices]
+                assert (
+                    SimplexSolver().check(LinearSystem(core_rows)).status
+                    is LPStatus.INFEASIBLE
+                )

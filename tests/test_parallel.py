@@ -1,6 +1,7 @@
 """Tests for the parallel solving subsystem (repro.parallel)."""
 
 import multiprocessing
+import os
 import pickle
 
 import pytest
@@ -25,6 +26,7 @@ from repro.parallel import (
     generate_cubes,
     pick_split_variables,
     portfolio_specs,
+    split_cube,
 )
 from repro.parallel.worker import _execute
 
@@ -89,6 +91,61 @@ class TestCubeSplitting:
 
     def test_build_cubes_on_problem(self):
         assert len(build_cubes(small_problem(), 2)) == 4
+
+    def test_split_cube_refines_disjointly(self):
+        problem = small_problem()
+        cube = tuple(build_cubes(problem, 1)[0])
+        children = split_cube(problem, cube)
+        assert children is not None and len(children) == 2
+        left, right = children
+        # Both children extend the parent by one fresh variable, with
+        # opposite phases — together they cover exactly the parent cube.
+        assert left[: len(cube)] == cube and right[: len(cube)] == cube
+        assert left[-1] == -right[-1]
+        assert abs(left[-1]) not in {abs(l) for l in cube}
+
+    def test_split_cube_exhausts(self):
+        problem = small_problem()
+        cube = ()
+        for _ in range(problem.cnf.num_vars + 1):
+            children = split_cube(problem, cube)
+            if children is None:
+                break
+            cube = children[0]
+        assert split_cube(problem, cube) is None
+
+
+class TestDynamicSplitting:
+    def test_hard_cube_splits_and_verdict_stays_correct(self):
+        # A tiny split budget forces every nontrivial cube to be abandoned
+        # and re-split; the join must still reach the sequential verdict
+        # and count the splits.
+        problem = planted_problem(6).problem
+        with ParallelSolver(
+            jobs=2, mode="cube", cube_depth=1, split_budget=1
+        ) as solver:
+            result = solver.solve(problem)
+        assert result.is_sat
+        split = solver.last_stats.registry.counter("cubes_split").value
+        dispatched = solver.last_stats.registry.counter("cubes_dispatched").value
+        assert split >= 1
+        assert dispatched >= 2 + 2 * split  # children joined the task set
+
+    def test_unsat_survives_splitting(self):
+        problem = definitions_unsat_problem()
+        with ParallelSolver(
+            jobs=2, mode="cube", cube_depth=1, split_budget=1
+        ) as solver:
+            result = solver.solve(problem)
+        assert result.is_unsat
+
+    def test_deterministic_mode_disables_splitting(self):
+        solver = ParallelSolver(
+            jobs=2, mode="cube", deterministic=True, split_budget=5
+        )
+        assert solver._effective_split_budget() == 0
+        solver_default = ParallelSolver(jobs=2, mode="cube")
+        assert solver_default._effective_split_budget() > 0
 
 
 class TestPickleProtocol:
@@ -193,19 +250,35 @@ class TestMemoization:
         assert solver.stats.bound_rows_cache_hits > 0
 
     def test_blocking_template_hits(self):
-        # Indefinite nonlinear verdicts carry no conflict core, so every
-        # candidate is blocked through the memoized fallback template.
-        problem = ABProblem()
-        problem.define(1, "real", parse_constraint("x*x + y*y <= -1"))
-        problem.add_clause([1])
-        for index in (2, 3):
-            problem.define(index, "real", parse_constraint(f"x >= {index}"))
-            problem.add_clause([index, -index])
-        solver = ABSolver(ABSolverConfig(use_interval_refuter=False))
-        result = solver.solve(problem)
-        assert result.status is ABStatus.UNKNOWN
-        assert solver.stats.blocking_clauses >= 2
-        assert solver.stats.blocking_template_hits >= 1
+        # A definite lemma derived by one session and lazily imported into
+        # another re-blocks the matching candidate from the template cache —
+        # no theory check, no duplicate IIS refinement.
+        def conflicted() -> ABProblem:
+            problem = ABProblem()
+            problem.define(1, "real", parse_constraint("x >= 0"))
+            problem.define(2, "real", parse_constraint("x <= 10"))
+            problem.define(3, "real", parse_constraint("x >= 20"))
+            for var in (1, 2, 3):
+                problem.add_clause([var])
+            return problem
+
+        derived = []
+        producer = SolverSession()
+        producer.lemma_listener = (
+            lambda clause, definite: derived.append(clause) if definite else None
+        )
+        producer.assert_problem(conflicted())
+        assert producer.check().is_unsat
+        assert derived
+
+        consumer = SolverSession()
+        consumer.assert_problem(conflicted())
+        assert consumer.import_lemmas(derived, lazy=True) == len(derived)
+        result = consumer.check()
+        assert result.is_unsat
+        assert consumer.stats.blocking_template_hits >= 1
+        # The foreign lemma preempted the conflict: nothing to re-refine.
+        assert consumer.stats.conflicts_refined == 0
 
 
 class TestParallelSolve:
@@ -331,9 +404,16 @@ class TestCancellationAndShutdown:
     def test_close_reaps_workers(self):
         solver = ParallelSolver(jobs=3, mode="cube", cube_depth=2)
         solver.solve(small_problem())
-        assert len(solver._workers) == 3
+        # Cube-mode pools are capped at the core count: surplus jobs become
+        # queued work for the active workers, not extra processes.
+        assert len(solver._workers) == solver.worker_count()
+        assert solver.worker_count() == min(3, max(1, os.cpu_count() or 1))
         solver.close()
         assert not multiprocessing.active_children()
+
+    def test_portfolio_pool_is_not_capped(self):
+        solver = ParallelSolver(jobs=3, mode="portfolio")
+        assert solver.worker_count() == 3
 
     def test_pool_respawns_after_timeout(self):
         solver = ParallelSolver(jobs=2, mode="cube", cube_depth=1, timeout=30.0)

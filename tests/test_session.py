@@ -276,6 +276,61 @@ class TestStatistics:
         assert session.stats.queries == 2
 
 
+class TestCacheRegression:
+    """Would have caught the dead caches of the committed bench records.
+
+    ``BENCH_incremental_unroll.json`` once showed ``warm_start_hits: 0`` and
+    ``blocking_template_hits: 0``: the warm cache was cleared on every
+    bounds/definition change, and blocking templates were never replayed.
+    These tests pin the counters nonzero on scripted re-check sequences.
+    """
+
+    def test_warm_start_hits_on_recheck(self):
+        session = SolverSession()  # default config: warm start is on
+        session.assert_problem(_base_problem())
+        assert session.check().is_sat
+        assert session.check().is_sat
+        assert session.stats.warm_start_hits >= 1
+
+    def test_warm_start_survives_bounds_changes(self):
+        session = SolverSession()
+        session.assert_problem(_base_problem())
+        assert session.check().is_sat
+        session.push()
+        session.set_bounds("x", 1, 9)  # used to wipe the warm cache
+        assert session.check().is_sat
+        session.pop()
+        assert session.check().is_sat
+        assert session.stats.warm_start_hits >= 1
+
+    def test_blocking_template_hits_on_pop_recheck(self):
+        # The same in-frame conflict asserted twice: the second cycle's
+        # candidate is re-blocked from the template recorded by the first,
+        # with no second IIS derivation.
+        session = SolverSession()
+        session.assert_problem(_base_problem())
+        session.reserve_variables(10)
+        constraint = parse_constraint("x >= 20")
+        refined = []
+        for _ in range(2):
+            session.push()
+            session.define(3, "real", constraint)
+            session.assert_clause([3])
+            assert session.check().is_unsat
+            refined.append(session.last_stats.conflicts_refined)
+            session.pop()
+        assert session.stats.blocking_template_hits >= 1
+        assert refined[1] < refined[0]
+        assert session.check().is_sat
+
+    def test_warm_start_hits_in_difference_adapter(self):
+        session = SolverSession(ABSolverConfig(linear="difference"))
+        session.assert_problem(_base_problem())
+        assert session.check().is_sat
+        assert session.check().is_sat
+        assert session.stats.warm_start_hits >= 1
+
+
 class TestWarmStartAdapter:
     def test_registry_lists_simplex_warm(self):
         assert "simplex-warm" in default_registry.available(DOMAIN_LINEAR)
