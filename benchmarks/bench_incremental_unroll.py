@@ -30,6 +30,13 @@ reuse counters are nonzero.  Both families are pure difference logic, so
 the sweeps run with ``linear="difference"`` (Bellman-Ford negative-cycle
 conflict cores).
 
+Because difference logic never reaches the nonlinear stage, the committed
+record used to show ``nonlinear_calls: 0`` — dead counters.  A third
+sweep over the Table 1 nonlinear micro-benchmarks
+(:data:`repro.benchgen.nonlinear_micro.MICRO_BENCHMARKS`) is merged into
+the record so ``nonlinear_calls`` (and, for the UNSAT micro,
+``interval_refutations``) are exercised and asserted nonzero.
+
 Environment knobs:
 
 * ``REPRO_UNROLL_MAX_DEPTH`` (default 8) — deepest unroll depth.
@@ -40,6 +47,7 @@ import time
 
 from repro import ABSolver, ABSolverConfig, SolverSession
 from repro.benchgen import fischer_unroll_family, watertank_unroll_family
+from repro.benchgen.nonlinear_micro import MICRO_BENCHMARKS
 
 from conftest import record_bench, register_report, report_rows
 
@@ -61,6 +69,9 @@ _FAMILIES = {
 
 #: family -> mode ("one-shot" / "session") -> measurement dict.
 _MEASURED = {}
+
+#: Merged stats + wall time of the nonlinear micro sweep (or None).
+_MICRO = {}
 
 
 def _oneshot_sweep(family):
@@ -181,6 +192,33 @@ def bench_incremental_watertank(benchmark):
     _run_family("watertank", benchmark)
 
 
+def bench_nonlinear_micros(benchmark):
+    """Table 1 nonlinear micros, merged into the unroll record.
+
+    The unroll families are pure difference logic, so without this sweep
+    the committed record reports ``nonlinear_calls: 0`` — the nonlinear
+    counters would be dead weight nobody could regress against.
+    """
+
+    def run():
+        stats = None
+        verdicts = {}
+        started = time.perf_counter()
+        for name, (factory, expected) in sorted(MICRO_BENCHMARKS.items()):
+            solver = ABSolver(ABSolverConfig())
+            result = solver.solve(factory())
+            assert result.status.value == expected, (
+                f"{name}: said {result.status.value}, expected {expected}"
+            )
+            verdicts[name] = result.status.value
+            stats = solver.stats if stats is None else stats.merge(solver.stats)
+        _MICRO["seconds"] = time.perf_counter() - started
+        _MICRO["stats"] = stats
+        _MICRO["verdicts"] = verdicts
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
 def _report():
     if not _MEASURED:
         return
@@ -266,12 +304,25 @@ def _report():
             # carries blocking_template_hits from the primed sweep next to
             # warm_start_hits from the incremental one.
             combined.merge(replay["stats"])
+    extra = {"max_depth": unroll_max_depth(), "families": per_family}
+    if _MICRO:
+        total_wall += _MICRO["seconds"]
+        micro_stats = _MICRO["stats"]
+        combined = micro_stats if combined is None else combined.merge(micro_stats)
+        extra["nonlinear_micros"] = {
+            "seconds": _MICRO["seconds"],
+            "verdicts": _MICRO["verdicts"],
+        }
+        if micro_stats.nonlinear_calls <= 0:
+            failures.append("nonlinear micros: nonlinear solver never called")
+        if micro_stats.interval_refutations <= 0:
+            failures.append("nonlinear micros: interval refuter never concluded")
     if per_family:
         record_bench(
             "incremental_unroll",
             wall_seconds=total_wall,
             stats=combined,
-            extra={"max_depth": unroll_max_depth(), "families": per_family},
+            extra=extra,
         )
     assert not failures, "; ".join(failures)
 

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable IIS conflict refinement (block full assignments)",
     )
+    parser.add_argument(
+        "--no-presolve",
+        action="store_true",
+        help="disable the formula-level presolve stage (bound propagation, "
+        "interval contraction, unit deduction)",
+    )
     parser.add_argument("--stats", action="store_true", help="print solver statistics")
     parser.add_argument(
         "--stats-json",
@@ -274,6 +280,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         linear=args.linear,
         nonlinear=nonlinear,
         refine_conflicts=not args.no_refine,
+        use_presolve=not args.no_presolve,
         tracer=tracer,
         event_bus=event_bus,
     )

@@ -185,15 +185,22 @@ class CDCLBooleanAdapter(BooleanSolverInterface):
     def __init__(self, **options):
         self._options = options
         self._solver: Optional[CDCLSolver] = None
+        #: Clauses received before the first solve (presolve unit emission
+        #: happens before the solver instance exists); replayed at creation.
+        self._pending: List[List[int]] = []
 
     def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
         if self._solver is None:
             self._solver = CDCLSolver(cnf, **self._options)
+            for clause in self._pending:
+                self._solver.add_clause(clause)
+            self._pending.clear()
         return self._solver.solve(assumptions)
 
     def add_clause(self, literals: Sequence[int]) -> None:
         if self._solver is None:
-            raise RuntimeError("add_clause before the first solve call")
+            self._pending.append(list(literals))
+            return
         self._solver.add_clause(literals)
 
     @property
@@ -228,6 +235,9 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
         self._frozen: set = set()
         self._result = None  # PreprocessResult
         self._unsat = False
+        #: Clauses received before the first solve; replayed through the
+        #: preprocessing-aware :meth:`add_clause` once the solver exists.
+        self._pending: List[List[int]] = []
 
     def set_frozen_variables(self, variables: Sequence[int]) -> None:
         self._frozen = set(variables)
@@ -248,6 +258,12 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
                 self._unsat = True
                 return None
             self._solver = CDCLSolver(self._result.cnf, **self._options)
+            pending = self._pending
+            self._pending = []
+            for clause in pending:
+                self.add_clause(clause)
+            if self._unsat:
+                return None
         # Assumptions must be translated through the preprocessing: forced
         # (implied) variables are evaluated here; removed ones — whether by
         # elimination or a pure-literal choice — cannot be assumed, because
@@ -273,7 +289,8 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
 
     def add_clause(self, literals: Sequence[int]) -> None:
         if self._solver is None or self._result is None:
-            raise RuntimeError("add_clause before the first solve call")
+            self._pending.append(list(literals))
+            return
         # Literals over variables the preprocessor fixed at level 0 must be
         # evaluated here: a clause whose surviving literals are all
         # forced-false makes the (original) formula UNSAT, and a satisfied
@@ -306,15 +323,20 @@ class DPLLBooleanAdapter(BooleanSolverInterface):
     def __init__(self, **options):
         self._solver = DPLLSolver(**options)
         self._cnf: Optional[CNF] = None
+        self._pending: List[List[int]] = []
 
     def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
         if self._cnf is None:
             self._cnf = cnf.copy()
+            for clause in self._pending:
+                self._cnf.add_clause(clause)
+            self._pending.clear()
         return self._solver.solve(self._cnf, tuple(assumptions))
 
     def add_clause(self, literals: Sequence[int]) -> None:
         if self._cnf is None:
-            raise RuntimeError("add_clause before the first solve call")
+            self._pending.append(list(literals))
+            return
         self._cnf.add_clause(literals)
 
 
@@ -356,8 +378,15 @@ class SimplexLinearAdapter(LinearSolverInterface):
             full-assignment conflicts instead).
         max_bb_nodes: node budget of the branch-and-bound search used when
             a component has integer variables.
-        use_presolve: run the bound-propagation presolve before each
-            component solve.
+        use_presolve: historical flag, now a no-op shim.  Presolve runs
+            once per query as a formula-level pipeline stage
+            (:class:`repro.core.presolve.PresolveStage`) whose shared
+            :class:`~repro.core.presolve.BoundStore` already tightened the
+            bound rows this adapter receives; re-running the per-LP-call
+            reduction here would only re-derive the same facts.  Accepted
+            so existing configs (``--linear simplex-presolve``) keep
+            working; disable the stage itself with
+            ``ABSolverConfig(use_presolve=False)`` / ``--no-presolve``.
         warm_start: cache feasible points under a canonical structural key
             and answer re-checks by exact revalidation (on by default —
             stale entries are revalidated before use, so the cache is
@@ -409,6 +438,18 @@ class SimplexLinearAdapter(LinearSolverInterface):
         """Drop warm-start state (called when the asserted structure changes)."""
         self._simplex.clear_warm_cache()
 
+    def set_warm_context(self, context: Optional[object]) -> None:
+        """Scope warm-start certificates to a pipeline-chosen context.
+
+        The pipeline passes a coarse mode token (``"presolve"`` while a
+        contentful bound store is active, ``None`` otherwise) so that
+        certificates derived under tightened bound rows are not even
+        *candidates* for reuse against raw-bound systems and vice versa.
+        Hygiene, not soundness — every cached certificate is revalidated
+        exactly before reuse regardless.
+        """
+        self._simplex.warm_context = context
+
     def check(self, system: LinearSystem) -> LPResult:
         merged_point: Dict[str, object] = {}
         for component in system.split_components():
@@ -419,17 +460,8 @@ class SimplexLinearAdapter(LinearSolverInterface):
         return LPResult(LPStatus.FEASIBLE, merged_point)  # type: ignore[arg-type]
 
     def _check_component(self, component: LinearSystem) -> LPResult:
-        if self.use_presolve:
-            from ..linear.presolve import presolve
-
-            reduction = presolve(component)
-            if reduction.infeasible:
-                return LPResult(LPStatus.INFEASIBLE)
-            assert reduction.system is not None
-            inner = self._solve_exact(reduction.system)
-            if inner.status is not LPStatus.FEASIBLE:
-                return inner
-            return LPResult(LPStatus.FEASIBLE, reduction.complete_point(inner.point))
+        # The per-call presolve that used to live here moved to the
+        # formula-level PresolveStage (see the use_presolve note above).
         return self._solve_exact(component)
 
     def _solve_exact(self, component: LinearSystem) -> LPResult:
@@ -499,6 +531,10 @@ class DifferenceLinearAdapter(SimplexLinearAdapter):
         """Drop warm-start state in both the simplex and difference engines."""
         super().invalidate_caches()
         self._difference.clear_warm_cache()
+
+    def set_warm_context(self, context: Optional[object]) -> None:
+        super().set_warm_context(context)
+        self._difference.warm_context = context
 
     def _check_component(self, component: LinearSystem) -> LPResult:
         if self._is_difference_system(component):

@@ -52,6 +52,7 @@ from ..obs.events import (
     IntervalRefuted,
     LegacyTraceSink,
     NonlinearFallback,
+    PresolveInfeasible,
     TheoryFeasible,
     VerdictReached,
 )
@@ -66,6 +67,7 @@ from .interface import (
     Refinement,
     SolverStage,
 )
+from .presolve import BoundStore, PresolveStage
 from .problem import ABProblem
 from .registry import (
     DOMAIN_BOOLEAN,
@@ -344,20 +346,30 @@ class TheoryTranslationStage(SolverStage):
         return system, nonlinear
 
     def _get_bound_rows(self, problem: ABProblem) -> List[LinearConstraint]:
-        """Declared variable bounds become untagged rows of every LP."""
+        """Variable bounds become untagged rows of every LP.
+
+        When the presolve stage holds an active :class:`BoundStore`, its
+        tightened (still implied) bounds replace the raw declared box —
+        this is the single point through which the shared store reaches
+        the linear engines.
+        """
         if self._bound_rows is not None:
             self._pipeline.stats.bound_rows_cache_hits += 1
             return self._bound_rows
-        rows: List[LinearConstraint] = []
-        for var, (low, high) in problem.bounds.items():
-            if low is not None:
-                rows.append(
-                    LinearConstraint({var: Fraction(1)}, Relation.GE, Fraction(low).limit_denominator(10**9))
-                )
-            if high is not None:
-                rows.append(
-                    LinearConstraint({var: Fraction(1)}, Relation.LE, Fraction(high).limit_denominator(10**9))
-                )
+        store = self._pipeline.presolve.active_store()
+        if store is not None:
+            rows = store.bound_rows()
+        else:
+            rows = []
+            for var, (low, high) in problem.bounds.items():
+                if low is not None:
+                    rows.append(
+                        LinearConstraint({var: Fraction(1)}, Relation.GE, Fraction(low).limit_denominator(10**9))
+                    )
+                if high is not None:
+                    rows.append(
+                        LinearConstraint({var: Fraction(1)}, Relation.LE, Fraction(high).limit_denominator(10**9))
+                    )
         self._bound_rows = rows
         return rows
 
@@ -463,6 +475,10 @@ class NonlinearCheckStage(SolverStage):
         bus = pipeline.bus
         all_constraints = [item.constraint for item in branch]
         hints = [dict(hint)]
+        store = pipeline.presolve.active_store()
+        declared = (
+            store.float_box(problem.bounds) if store is not None else problem.bounds
+        )
         bounds = problem.effective_bounds()
         for solver in self._chain:
             if not solver.applicable(all_constraints):
@@ -471,7 +487,7 @@ class NonlinearCheckStage(SolverStage):
                 self.name, backend=solver.name, constraints=len(all_constraints)
             ):
                 nlp = solver.solve(
-                    all_constraints, bounds=problem.bounds or bounds, hints=hints
+                    all_constraints, bounds=declared or bounds, hints=hints
                 )
             stats.nonlinear_calls += 1
             if nlp.status is NLPStatus.SAT and _integral_ok(
@@ -543,16 +559,22 @@ class ConflictRefinementStage(SolverStage):
         """
         if not self._use_interval_refuter:
             return False, []
+        pipeline = self._pipeline
         constraints = [item.constraint for item in branch]
         variables = sorted({v for c in constraints for v in c.variables()})
+        store = pipeline.presolve.active_store()
+        box = (
+            store.float_box(problem.bounds)
+            if store is not None
+            else problem.bounds
+        )
         bounds: Dict[str, Tuple[float, float]] = {}
         for var in variables:
-            low, high = problem.bounds.get(var, (None, None))
+            low, high = box.get(var, (None, None))
             bounds[var] = (
                 low if low is not None else -math.inf,
                 high if high is not None else math.inf,
             )
-        pipeline = self._pipeline
         refuter = IntervalRefuter(
             **(getattr(pipeline.config, "refuter_options", None) or {})
         )
@@ -645,6 +667,7 @@ class SolvePipeline:
             for name in config.nonlinear
         ]
 
+        self.presolve = PresolveStage(self)
         self.candidate = CandidateGenerationStage(self, boolean)
         self.translation = TheoryTranslationStage(self)
         self.linear = LinearCheckStage(self, linear)
@@ -656,6 +679,7 @@ class SolvePipeline:
             use_interval_refuter=config.use_interval_refuter,
         )
         self.stages: Tuple[SolverStage, ...] = (
+            self.presolve,
             self.candidate,
             self.translation,
             self.linear,
@@ -670,8 +694,10 @@ class SolvePipeline:
         #: were derived from and are revalidated on every match, so entries
         #: survive push/pop retraction without ever going unsound.
         self._templates: Dict[Tuple[int, ...], _BlockingTemplate] = {}
-        #: Memoized bounds fingerprint (None = recompute after a change).
-        self._bounds_key: Optional[frozenset] = None
+        #: Memoized bounds fingerprint (None = recompute after a change);
+        #: a bare frozenset of declared bounds, or (declared, store
+        #: fingerprint) while a presolve store is active.
+        self._bounds_key: Optional[object] = None
         #: Memoized variable-domains fingerprint (invalidated with defs).
         self._domains_key: Optional[frozenset] = None
 
@@ -683,6 +709,7 @@ class SolvePipeline:
 
     def definitions_added(self) -> None:
         self.translation.definitions_changed()
+        self.presolve.invalidate()
         self._blocking_vars = None
         self._domains_key = None
 
@@ -693,12 +720,27 @@ class SolvePipeline:
         # wrong verdict.  (Clearing them here is why warm_start_hits used to
         # flatline at 0 across session push/pop sequences.)
         self.translation.invalidate_definitions(variables)
+        self.presolve.invalidate()
         self._blocking_vars = None
         self._domains_key = None
 
     def bounds_changed(self) -> None:
         # Same reasoning as definitions_removed: warm-start entries are keyed
         # on row structure and revalidated exactly, so bound shifts are safe.
+        self.translation.bounds_changed()
+        self.presolve.invalidate()
+        self._bounds_key = None
+
+    def clauses_changed(self) -> None:
+        """The CNF gained or lost clauses: presolve's deductions are stale.
+
+        Translation caches are untouched — they key on definition content,
+        not on the clause set.
+        """
+        self.presolve.invalidate()
+
+    def presolve_store_changed(self) -> None:
+        """The :class:`BoundStore` recomputed with different deductions."""
         self.translation.bounds_changed()
         self._bounds_key = None
 
@@ -724,11 +766,28 @@ class SolvePipeline:
     #: Cap on remembered blocking-clause templates.
     BLOCKING_TEMPLATE_LIMIT = 4096
 
-    def _bounds_fingerprint(self, problem: ABProblem) -> frozenset:
+    def _bounds_fingerprint(self, problem: ABProblem):
         if self._bounds_key is None:
-            self._bounds_key = frozenset(
+            declared = frozenset(
                 (var, low, high) for var, (low, high) in problem.bounds.items()
             )
+            # Fingerprint against the *ensured* store, not whatever is
+            # cached: templates are often registered right after a formula
+            # change (import_lemmas before check), when the cached store is
+            # stale — keying those against declared bounds only would make
+            # them unmatchable once the store is recomputed.  ensure() is
+            # a cache hit whenever the store is fresh, and a no-op (None)
+            # when the stage is disabled.
+            store = (
+                self.presolve.ensure(problem) if self.presolve.enabled else None
+            )
+            if store is not None:
+                # Templates derived under a store must never replay once
+                # its deductions change (the clause may have leaned on a
+                # tightened bound row).
+                self._bounds_key = (declared, store.fingerprint())
+            else:
+                self._bounds_key = declared
         return self._bounds_key
 
     def _domains_fingerprint(self, problem: ABProblem) -> frozenset:
@@ -840,6 +899,39 @@ class SolvePipeline:
         config = self.config
         stats = self.stats
         bus = self.bus
+
+        # Stage 0: formula-level presolve.  Computed once per structural
+        # state of the problem (sessions invalidate on assert/define/pop),
+        # the store short-circuits provably-infeasible stacks, seeds the
+        # Boolean solver with deduced unit facts, and hands tightened
+        # bounds to every later stage.
+        store = self.presolve.ensure(problem)
+        if store is not None:
+            if store.infeasible:
+                if bus.active:
+                    bus.publish(PresolveInfeasible(reason=store.infeasible_reason))
+                    bus.publish(VerdictReached(status="unsat", iterations=0))
+                return ABResult(
+                    ABStatus.UNSAT,
+                    stats=stats,
+                    reason=f"presolve: {store.infeasible_reason}",
+                )
+            if store.units and not store.emitted:
+                store.emitted = True
+                for literal in store.units:
+                    stats.presolve_units_emitted += 1
+                    unit = [literal]
+                    solver_clause = (
+                        on_lemma(list(unit), True) if on_lemma is not None else unit
+                    )
+                    self.candidate.block(solver_clause)
+        context = None
+        if store is not None and store.contentful:
+            context = "presolve"
+        set_context = getattr(self.linear.solver, "set_warm_context", None)
+        if set_context is not None:
+            set_context(context)
+
         domains = problem.variable_domains()
         circuit = Circuit.from_ab_problem(problem)
         complete = not prior_incomplete

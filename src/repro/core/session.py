@@ -169,6 +169,7 @@ class SolverSession:
         ):
             frame = self._frames.pop()
             del self.problem.cnf.clauses[frame.clause_mark :]
+            self.pipeline.clauses_changed()
             if frame.defined_vars:
                 for var in frame.defined_vars:
                     del self.problem.definitions[var]
@@ -219,6 +220,7 @@ class SolverSession:
                     f"variable {abs(literal)} is a session activation variable"
                 )
         self.problem.add_clause(clause)
+        self.pipeline.clauses_changed()
         self._max_var = max(self._max_var, self.problem.cnf.num_vars)
         if self._frames:
             guard = self._activation_var(self._frames[-1])
@@ -445,9 +447,15 @@ class SolverSession:
         """The deepest frame whose state a lemma rests on (None = frame 0).
 
         A theory lemma over definition literals is justified by (a) the
-        definitions of the variables it mentions and (b) the bounds that
+        definitions of the variables it mentions, (b) the bounds that
         were active when it was derived (bound rows enter every LP, and the
-        nonlinear/interval stages read the box directly).
+        nonlinear/interval stages read the box directly), and (c) — while a
+        contentful presolve store is active — the *clauses* of every frame,
+        because the store's deductions (tightened bound rows, emitted
+        units) follow from Boolean unit propagation over the whole stack.
+        In that case the lemma is guarded by the deepest frame that
+        contributed any state at all: conservative (a pop may retract a
+        lemma that was actually frame-independent), but never unsound.
         """
         level = 0
         for literal in clause:
@@ -455,9 +463,26 @@ class SolverSession:
         for frame in self._frames:
             if frame.saved_bounds:
                 level = max(level, frame.level)
+        store = self.pipeline.presolve.active_store()
+        if store is not None and store.contentful:
+            level = max(level, self._deepest_contentful_level())
         if level == 0:
             return None
         return self._frames[level - 1]
+
+    def _deepest_contentful_level(self) -> int:
+        """The deepest frame holding clauses, definitions, or bounds."""
+        marks = [frame.clause_mark for frame in self._frames]
+        marks.append(len(self.problem.cnf.clauses))
+        for index in range(len(self._frames) - 1, -1, -1):
+            frame = self._frames[index]
+            if (
+                frame.defined_vars
+                or frame.saved_bounds
+                or marks[index + 1] > frame.clause_mark
+            ):
+                return frame.level
+        return 0
 
     def _on_lemma(self, clause: List[int], definite: bool) -> List[int]:
         """Pipeline hook: guard and register every learned theory lemma."""

@@ -163,6 +163,11 @@ class ABSolverConfig:
             blocking (off: block the full assignment).
         use_interval_refuter: allow interval branch-and-prune to *prove*
             nonlinear conflicts (UNSAT evidence).
+        use_presolve: run the formula-level presolve stage
+            (:class:`repro.core.presolve.PresolveStage`) before the control
+            loop — bound propagation to fixpoint, interval contraction,
+            and unit deduction shared by every downstream stage.  CLI:
+            ``--no-presolve``.  Forced off under ``record_certificate``.
         record_certificate: record every theory lemma for
             :func:`repro.core.certify.verify_certificate`.
         max_iterations: control-loop iteration cap (then ``UNKNOWN``).
@@ -193,6 +198,7 @@ class ABSolverConfig:
         trace: Optional[object] = None,
         tracer: Optional[object] = None,
         event_bus: Optional[object] = None,
+        use_presolve: bool = True,
     ):
         self.boolean = boolean
         self.linear = linear
@@ -231,6 +237,10 @@ class ABSolverConfig:
         #: solve events; the pipeline creates a private (sink-less, i.e.
         #: inactive) bus when ``None``.
         self.event_bus = event_bus
+        #: Toggle for the formula-level presolve stage (stage 0 of the
+        #: pipeline).  Certificate recording disables it regardless, so the
+        #: recorded lemma stream stays self-contained.
+        self.use_presolve = use_presolve
 
 
 class ABSolver:

@@ -74,6 +74,9 @@ class SolveStatistics:
         "numpy_accepts",
         "numpy_fallbacks",
         "cubes_split",
+        "presolve_rows_dropped",
+        "presolve_units_emitted",
+        "contractor_presolve_calls",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:

@@ -113,6 +113,9 @@ class DifferenceLogicSolver:
     def __init__(self, warm_start: bool = False):
         self.warm_start = warm_start
         self.warm_hits = 0
+        #: Opaque scope token mixed into the warm-cache key (see
+        #: :attr:`repro.linear.simplex.SimplexSolver.warm_context`).
+        self.warm_context: Optional[object] = None
         self._warm_points: Dict[object, Dict[str, Fraction]] = {}
         self._warm_cores: Dict[object, frozenset] = {}
 
@@ -127,7 +130,10 @@ class DifferenceLogicSolver:
             raise ValueError("system is outside the difference-logic fragment")
         signature: Optional[object] = None
         if self.warm_start:
-            signature = SimplexSolver._structural_signature(system.rows)
+            signature = (
+                self.warm_context,
+                SimplexSolver._structural_signature(system.rows),
+            )
             cached = self._warm_points.get(signature)
             if cached is not None and SimplexSolver._point_satisfies(
                 system.rows, cached

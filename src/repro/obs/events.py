@@ -23,6 +23,9 @@ from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Type
 __all__ = [
     "SolveEvent",
     "CheckStarted",
+    "BoundTightened",
+    "PresolveFixedVar",
+    "PresolveInfeasible",
     "CandidateFound",
     "TheoryFeasible",
     "BlockingClauseAdded",
@@ -71,6 +74,42 @@ class CheckStarted(SolveEvent):
     assumptions: int
 
     legacy_name = "check-started"
+
+
+@dataclass(frozen=True)
+class BoundTightened(SolveEvent):
+    """Formula-level presolve narrowed a variable beyond its declared box.
+
+    ``lower``/``upper`` are the tightened endpoints as floats (None when
+    that side stayed unbounded); ``source`` records the deduction that
+    produced the tightening (``"propagation"`` or ``"contraction"``).
+    """
+
+    variable: str
+    lower: Optional[float]
+    upper: Optional[float]
+    source: str
+
+    legacy_name = "bound-tightened"
+
+
+@dataclass(frozen=True)
+class PresolveFixedVar(SolveEvent):
+    """Presolve pinned a theory variable to a single value."""
+
+    variable: str
+    value: float
+
+    legacy_name = "presolve-fixed-var"
+
+
+@dataclass(frozen=True)
+class PresolveInfeasible(SolveEvent):
+    """Presolve proved the asserted stack infeasible before any candidate."""
+
+    reason: str
+
+    legacy_name = "presolve-infeasible"
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ __all__ = [
     "generate_cubes",
     "build_cubes",
     "split_cube",
+    "refine_cube_bounds",
 ]
 
 #: Occurrence-ranked candidates kept for the (quadratic-ish) lookahead
@@ -138,6 +139,55 @@ def generate_cubes(variables: Sequence[int]) -> List[Tuple[int, ...]]:
 def build_cubes(problem: ABProblem, depth: int) -> List[Tuple[int, ...]]:
     """Split ``problem`` into ``2^depth`` cubes (fewer when it is tiny)."""
     return generate_cubes(pick_split_variables(problem, depth))
+
+
+def refine_cube_bounds(
+    problem: ABProblem, cube: Sequence[int]
+) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
+    """Bound refinements implied by a cube's decision literals.
+
+    Each cube literal fixes a definition's phase: ``+v`` asserts the
+    definition's constraint, ``-v`` its negation (skipped when the
+    negation splits, i.e. for equations).  The linear ones are propagated
+    to fixpoint over the declared bounds with the presolve substrate
+    (:func:`repro.core.presolve.propagate_rows`), and any variable whose
+    box tightened is returned as an outward-rounded float refinement the
+    worker layers onto its session before solving the cube.
+
+    Returns an empty mapping when nothing tightens or when propagation
+    proves the cube infeasible outright — in the latter case the worker
+    just solves the cube normally and lets the pipeline report UNSAT with
+    its usual bookkeeping.
+    """
+    from ..core.presolve import BoundStore, propagate_rows
+    from ..linear.lp import LinearConstraint
+
+    rows: List[LinearConstraint] = []
+    for literal in cube:
+        definition = problem.definitions.get(abs(literal))
+        if definition is None:
+            continue
+        if literal > 0:
+            constraint = definition.constraint
+        else:
+            alternatives = definition.constraint.negated_alternatives()
+            if len(alternatives) != 1:
+                continue  # EQ-negation is a disjunction, not a fact
+            constraint = alternatives[0]
+        if constraint.is_linear():
+            rows.append(LinearConstraint.from_constraint(constraint, tag=literal))
+    if not rows:
+        return {}
+    store = BoundStore(problem.bounds)
+    propagate_rows(store, rows)
+    if store.infeasible or not store.tightened:
+        return {}
+    box = store.float_box(problem.bounds)
+    return {
+        var: box[var]
+        for var, source in store.provenance.items()
+        if source != "declared" and var in box
+    }
 
 
 def split_cube(

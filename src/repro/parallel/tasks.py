@@ -44,6 +44,7 @@ class ConfigSpec:
         "nonlinear_options",
         "refuter_options",
         "seed",
+        "use_presolve",
         "label",
     )
 
@@ -62,6 +63,7 @@ class ConfigSpec:
         nonlinear_options: Optional[Dict[str, Any]] = None,
         refuter_options: Optional[Dict[str, Any]] = None,
         seed: Optional[int] = None,
+        use_presolve: bool = True,
         label: str = "base",
     ):
         self.boolean = boolean
@@ -77,6 +79,7 @@ class ConfigSpec:
         self.nonlinear_options = dict(nonlinear_options or {})
         self.refuter_options = dict(refuter_options or {})
         self.seed = seed
+        self.use_presolve = use_presolve
         #: Human-readable portfolio label ("base", "difference", ...);
         #: shows up in stats, events, and the scaling bench tables.
         self.label = label
@@ -98,6 +101,7 @@ class ConfigSpec:
             nonlinear_options=config.nonlinear_options,
             refuter_options=getattr(config, "refuter_options", None),
             seed=getattr(config, "seed", None),
+            use_presolve=getattr(config, "use_presolve", True),
             label=label,
         )
 
@@ -119,6 +123,7 @@ class ConfigSpec:
             nonlinear_options=self.nonlinear_options,
             refuter_options=self.refuter_options,
             seed=self.seed,
+            use_presolve=self.use_presolve,
             tracer=tracer,
             event_bus=event_bus,
         )

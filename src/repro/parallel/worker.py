@@ -58,7 +58,7 @@ from typing import Dict, List
 from ..core.session import SolverSession
 from ..core.solver import ABSolver, ABStatus
 from ..obs.trace import SpanTracer
-from .cubes import split_cube
+from .cubes import refine_cube_bounds, split_cube
 from .tasks import SolveTask, WorkerOutcome
 
 __all__ = ["worker_main"]
@@ -86,6 +86,7 @@ def _spec_fingerprint(spec) -> tuple:
         tuple(sorted(spec.nonlinear_options.items())),
         tuple(sorted(spec.refuter_options.items())),
         spec.seed,
+        spec.use_presolve,
     )
 
 
@@ -145,13 +146,24 @@ def _drain_lemmas(session: SolverSession, lemma_queue, gen: int) -> None:
 def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value, tracer):
     session = _session_for(task, tracer)
 
-    if task.share_lemmas:
+    # The cube's decision literals often imply tighter variable boxes than
+    # the declared bounds; apply them in a scratch frame so the in-session
+    # presolve, LP translation, and interval code all see the smaller box.
+    refinements = (
+        refine_cube_bounds(task.problem, task.cube)
+        if task.cube and task.spec.use_presolve
+        else {}
+    )
+
+    if task.share_lemmas and not refinements:
         def stream_lemma(clause: List[int], definite: bool) -> None:
             if definite:
                 result_queue.put(("lemma", task.gen, worker_id, clause))
 
         session.lemma_listener = stream_lemma
     else:
+        # Lemmas derived under cube-conditioned bounds are only valid
+        # inside this cube — never broadcast them to other workers.
         session.lemma_listener = None
 
     # Plan the split up front (it is deterministic and independent of the
@@ -175,7 +187,16 @@ def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_v
                 return False
         return True
 
-    result = session.check(task.assumptions, poll=poll)
+    if refinements:
+        session.push()
+        try:
+            for var, (low, high) in sorted(refinements.items()):
+                session.set_bounds(var, low, high)
+            result = session.check(task.assumptions, poll=poll)
+        finally:
+            session.pop()
+    else:
+        result = session.check(task.assumptions, poll=poll)
     status = result.status.value
     subcubes = None
     if result.status is ABStatus.UNKNOWN and result.reason == "cancelled":

@@ -39,9 +39,12 @@ class TestBooleanAdapters:
         adapter.add_clause([-1])
         assert adapter.solve(cnf) is None
 
-    def test_dpll_add_clause_before_solve_rejected(self):
-        with pytest.raises(RuntimeError):
-            DPLLBooleanAdapter().add_clause([1])
+    def test_dpll_add_clause_before_solve_buffered(self):
+        # Clauses learned before the first solve (e.g. presolve units) are
+        # buffered and take effect once the CNF arrives.
+        adapter = DPLLBooleanAdapter()
+        adapter.add_clause([-1])
+        assert adapter.solve(CNF(1, [[1]])) is None
 
     def test_lsat_all_models_and_minimize_flag(self):
         cnf = CNF(2, [[1, 2]])

@@ -39,9 +39,12 @@ class TestAdapterDirect:
         assert second is not None
         assert (second[1], second[2]) != (first[1], first[2])
 
-    def test_add_clause_before_solve_rejected(self):
-        with pytest.raises(RuntimeError):
-            PreprocessingCDCLAdapter().add_clause([1])
+    def test_add_clause_before_solve_buffered(self):
+        # Presolve may emit unit clauses before the first solve; the adapter
+        # buffers them and replays them through the preprocessing maps.
+        adapter = PreprocessingCDCLAdapter()
+        adapter.add_clause([-1])
+        assert adapter.solve(CNF(1, [[1]])) is None
 
     def test_registered(self):
         assert default_registry.is_registered("boolean", "cdcl-pre")

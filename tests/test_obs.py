@@ -189,15 +189,18 @@ class TestEventBus:
 
 
 class TestSolveEventStream:
-    def _solve_collecting(self, problem):
+    def _solve_collecting(self, problem, **config_kwargs):
         bus = EventBus()
         sink = CollectingSink()
         bus.subscribe(sink)
-        result = ABSolver(ABSolverConfig(event_bus=bus)).solve(problem)
+        result = ABSolver(ABSolverConfig(event_bus=bus, **config_kwargs)).solve(problem)
         return result, sink.events
 
     def test_conflict_refinement_loop_ordering(self):
-        result, events = self._solve_collecting(_unsat_problem())
+        # Presolve would short-circuit this contradiction before the loop
+        # (PresolveInfeasible instead of conflict triples); disable it so the
+        # refinement event stream is actually exercised.
+        result, events = self._solve_collecting(_unsat_problem(), use_presolve=False)
         assert result.is_unsat
         kinds = [type(event) for event in events]
         assert kinds[0] is CheckStarted
@@ -255,7 +258,10 @@ class TestSolveEventStream:
     def test_legacy_trace_bridge_is_faithful(self):
         """config.trace sees exactly the historical names and payloads."""
         legacy = []
-        config = ABSolverConfig(trace=lambda name, payload: legacy.append((name, payload)))
+        config = ABSolverConfig(
+            trace=lambda name, payload: legacy.append((name, payload)),
+            use_presolve=False,
+        )
         result = ABSolver(config).solve(_unsat_problem())
         assert result.is_unsat
         names = [name for name, _ in legacy]
@@ -286,8 +292,11 @@ class TestSolveEventStream:
 # ----------------------------------------------------------------------
 class TestTracedSolve:
     def test_all_five_stages_appear_nested(self):
+        # Presolve off: it would deduce the conflicting variable's phase up
+        # front and skip the refine stage this test wants to observe.
         tracer = SpanTracer()
-        result = ABSolver(ABSolverConfig(tracer=tracer)).solve(_all_stage_problem())
+        config = ABSolverConfig(tracer=tracer, use_presolve=False)
+        result = ABSolver(config).solve(_all_stage_problem())
         assert result.is_sat
         names = {span.name for span in tracer.spans}
         assert {"boolean", "translate", "linear", "nonlinear", "refine"} <= names

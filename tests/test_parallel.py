@@ -119,10 +119,15 @@ class TestDynamicSplitting:
     def test_hard_cube_splits_and_verdict_stays_correct(self):
         # A tiny split budget forces every nontrivial cube to be abandoned
         # and re-split; the join must still reach the sequential verdict
-        # and count the splits.
+        # and count the splits.  Presolve off: its per-cube refinements can
+        # settle cubes inside the budget, leaving nothing to split.
         problem = planted_problem(6).problem
         with ParallelSolver(
-            jobs=2, mode="cube", cube_depth=1, split_budget=1
+            ABSolverConfig(use_presolve=False),
+            jobs=2,
+            mode="cube",
+            cube_depth=1,
+            split_budget=1,
         ) as solver:
             result = solver.solve(problem)
         assert result.is_sat
@@ -262,8 +267,10 @@ class TestMemoization:
                 problem.add_clause([var])
             return problem
 
+        # Presolve would prove this UNSAT before any lemma is derived;
+        # disable it so the producer actually hits the theory conflict.
         derived = []
-        producer = SolverSession()
+        producer = SolverSession(ABSolverConfig(use_presolve=False))
         producer.lemma_listener = (
             lambda clause, definite: derived.append(clause) if definite else None
         )
@@ -271,7 +278,7 @@ class TestMemoization:
         assert producer.check().is_unsat
         assert derived
 
-        consumer = SolverSession()
+        consumer = SolverSession(ABSolverConfig(use_presolve=False))
         consumer.assert_problem(conflicted())
         assert consumer.import_lemmas(derived, lazy=True) == len(derived)
         result = consumer.check()

@@ -75,7 +75,9 @@ class TestAssertionStack:
 
     def test_popped_frame_lemmas_are_retracted(self):
         """A theory lemma resting on a popped definition must stop pruning."""
-        session = SolverSession()
+        # Presolve would prove the in-frame conflict before any lemma is
+        # derived; disable it so the guard/retraction machinery is exercised.
+        session = SolverSession(ABSolverConfig(use_presolve=False))
         session.assert_problem(_base_problem())
         session.push()
         # An in-frame conflict: the refutation lemma mentions the frame's
@@ -306,8 +308,9 @@ class TestCacheRegression:
     def test_blocking_template_hits_on_pop_recheck(self):
         # The same in-frame conflict asserted twice: the second cycle's
         # candidate is re-blocked from the template recorded by the first,
-        # with no second IIS derivation.
-        session = SolverSession()
+        # with no second IIS derivation.  Presolve off: it would prove the
+        # conflict up front and no template would ever be recorded.
+        session = SolverSession(ABSolverConfig(use_presolve=False))
         session.assert_problem(_base_problem())
         session.reserve_variables(10)
         constraint = parse_constraint("x >= 20")

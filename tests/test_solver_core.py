@@ -77,7 +77,9 @@ class TestLinearConflicts:
         problem.add_clause([2])
         problem.define(1, "real", parse_constraint("x >= 5"))
         problem.define(2, "real", parse_constraint("x <= 3"))
-        result = solve(problem)
+        # Presolve off: it proves this forced-row contradiction before the
+        # loop, and the point here is the IIS refinement path.
+        result = solve(problem, use_presolve=False)
         assert result.is_unsat
         assert result.stats.conflicts_refined >= 1
 

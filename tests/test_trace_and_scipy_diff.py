@@ -11,9 +11,12 @@ from repro.linear import LinearConstraint, LinearSystem, LPStatus, SimplexSolver
 
 
 class TestTrace:
-    def collect_events(self, problem):
+    def collect_events(self, problem, **config_kwargs):
         events = []
-        config = ABSolverConfig(trace=lambda event, payload: events.append((event, payload)))
+        config = ABSolverConfig(
+            trace=lambda event, payload: events.append((event, payload)),
+            **config_kwargs,
+        )
         result = ABSolver(config).solve(problem)
         return result, events
 
@@ -35,7 +38,9 @@ class TestTrace:
         problem.add_clause([2])
         problem.define(1, "real", parse_constraint("x >= 5"))
         problem.define(2, "real", parse_constraint("x <= 3"))
-        result, events = self.collect_events(problem)
+        # Presolve off so the contradiction reaches the theory-conflict path
+        # instead of being proven up front.
+        result, events = self.collect_events(problem, use_presolve=False)
         assert result.is_unsat
         conflicts = [payload for event, payload in events if event == "theory-conflict"]
         assert conflicts
