@@ -49,15 +49,23 @@ def record_bench(
     wall_seconds=None,
     stats=None,
     extra: Dict[str, Any] = None,
+    memory: Dict[str, Any] = None,
 ) -> None:
     """Queue one benchmark trajectory record (written at session teardown).
 
     ``stats`` is a :class:`repro.core.stats.SolveStatistics`; its counters
     and stage histograms become the machine-readable breakdown of the
-    ``BENCH_<name>.json`` file.
+    ``BENCH_<name>.json`` file.  ``memory`` is an optional
+    :meth:`repro.obs.profile.MemoryProfiler.summary` attribution.
     """
     _BENCH_RECORDS.append(
-        {"name": name, "wall_seconds": wall_seconds, "stats": stats, "extra": extra}
+        {
+            "name": name,
+            "wall_seconds": wall_seconds,
+            "stats": stats,
+            "extra": extra,
+            "memory": memory,
+        }
     )
 
 
@@ -103,6 +111,7 @@ def _print_reproduction_tables():
                 wall_seconds=record["wall_seconds"],
                 stats=record["stats"],
                 extra=record["extra"],
+                memory=record["memory"],
             )
             print(f"bench trajectory record: {path}")
     assert not failures, "reproduction shape assertions failed: " + "; ".join(failures)

@@ -15,12 +15,22 @@ Examples::
     absolver --check-incremental base.cnf step1.cnf step2.cnf
     absolver --stats-json - problem.cnf
     absolver --trace-chrome trace.json --trace spans.jsonl problem.cnf
+    absolver --progress --flight-record flight.jsonl --jobs 4 problem.cnf
+    absolver --profile-memory --stats-json - problem.cnf
 
 ``--trace-chrome`` writes the solve as a Chrome ``trace_event`` file —
 open it in ``chrome://tracing`` or https://ui.perfetto.dev to see the
 staged pipeline (boolean / translate / linear / nonlinear / refine spans)
 as a flamegraph.  ``--verbose`` prints the typed solver events through a
 :class:`repro.obs.events.VerboseSink`.
+
+The deep-diagnostics flags (see ``docs/OBSERVABILITY.md``): ``--progress``
+prints live heartbeats (and stall alarms, tunable via
+``--progress-interval`` / ``--stall-budget``) to stderr;
+``--flight-record PATH`` keeps a bounded ring of recent events/spans and
+writes a JSONL post-mortem on exception, parallel timeout, or exit;
+``--profile-memory`` attributes allocations to pipeline stages via
+sampled ``tracemalloc`` (summary in ``--stats-json`` under ``memory``).
 
 With ``--check-incremental`` the inputs form one *incremental session*:
 each file is a delta (sharing the variable numbering of its predecessors)
@@ -140,6 +150,39 @@ def build_parser() -> argparse.ArgumentParser:
         "to PATH (open in chrome://tracing or https://ui.perfetto.dev)",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live progress heartbeats (and stall alarms) to stderr",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between --progress heartbeats (default: 1.0)",
+    )
+    parser.add_argument(
+        "--stall-budget",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --progress: raise a stage-stalled alarm after this many "
+        "seconds without a progress tick (default: 30)",
+    )
+    parser.add_argument(
+        "--flight-record",
+        metavar="PATH",
+        default=None,
+        help="keep a bounded in-memory flight recorder and write its JSONL "
+        "post-mortem to PATH on exception, parallel timeout, or exit",
+    )
+    parser.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="attribute allocations to pipeline stages via sampled "
+        "tracemalloc (summary lands in --stats-json under 'memory')",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -206,17 +249,21 @@ def _load_problem(args, path: str):
     return parse_dimacs_file(path)
 
 
-def _emit_stats_json(args, stats) -> None:
+def _emit_stats_json(args, stats, profiler=None) -> None:
     """Honour ``--stats-json PATH`` ('-' writes to stdout).
 
     On top of the flat counter/total dict the payload carries a ``stages``
     object with per-stage latency summaries (count, total, mean, p50, p95,
-    max seconds) from the metrics histograms.
+    max seconds) from the metrics histograms, and — with
+    ``--profile-memory`` — a ``memory`` object with the per-stage
+    allocation attribution.
     """
     if args.stats_json is None:
         return
     record = dict(stats.as_dict())
     record["stages"] = stats.stage_summaries()
+    if profiler is not None and profiler.enabled:
+        record["memory"] = profiler.summary()
     payload = json.dumps(record, indent=2, sort_keys=True)
     if args.stats_json == "-":
         print(payload)
@@ -226,18 +273,44 @@ def _emit_stats_json(args, stats) -> None:
 
 
 def _build_observability(args):
-    """Tracer + event bus implied by the CLI flags (None when unused)."""
+    """Tracer, bus, monitor, recorder, profiler implied by the CLI flags.
+
+    Each is ``None`` (or never created) when its flags are off, so the
+    default invocation keeps the zero-overhead fast paths.  For parallel
+    runs the coordinator owns its own flight recorder (merging per-worker
+    rings), so the CLI-side recorder is only built for in-process solves.
+    """
     from .obs.events import EventBus, VerboseSink
+    from .obs.profile import MemoryProfiler
+    from .obs.progress import ProgressMonitor, ProgressRenderer
+    from .obs.recorder import FlightRecorder
     from .obs.trace import SpanTracer
 
     tracer = None
-    if args.trace or args.trace_chrome:
+    if args.trace or args.trace_chrome or args.flight_record:
         tracer = SpanTracer(process_name="absolver")
     bus = None
-    if args.verbose:
+    if args.verbose or args.progress or args.flight_record:
         bus = EventBus()
-        bus.subscribe(VerboseSink())
-    return tracer, bus
+        if args.verbose:
+            bus.subscribe(VerboseSink())
+    monitor = None
+    if args.progress:
+        monitor = ProgressMonitor(
+            bus,
+            interval=args.progress_interval,
+            stall_budget=args.stall_budget if args.stall_budget > 0 else None,
+        )
+        ProgressRenderer().attach(bus)
+        monitor.start_watchdog()
+    recorder = None
+    if args.flight_record and args.jobs <= 1:
+        recorder = FlightRecorder().attach(bus=bus, tracer=tracer)
+    profiler = None
+    if args.profile_memory:
+        profiler = MemoryProfiler()
+        profiler.start()
+    return tracer, bus, monitor, recorder, profiler
 
 
 def _export_traces(args, tracer) -> None:
@@ -248,6 +321,15 @@ def _export_traces(args, tracer) -> None:
         tracer.export_jsonl(args.trace)
     if args.trace_chrome:
         tracer.export_chrome(args.trace_chrome)
+
+
+def _dump_flight(args, recorder, stats=None, reason="requested") -> None:
+    """Write the in-process flight dump to the ``--flight-record`` path."""
+    if recorder is None or not args.flight_record:
+        return
+    if stats is not None:
+        recorder.bind_stats(stats)
+    recorder.dump_jsonl(args.flight_record, reason=reason)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -274,7 +356,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in default_registry.available(DOMAIN_NONLINEAR):
             print(f"error: unknown nonlinear solver {name!r}", file=sys.stderr)
             return 2
-    tracer, event_bus = _build_observability(args)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    tracer, event_bus, monitor, recorder, profiler = _build_observability(args)
     config = ABSolverConfig(
         boolean=args.boolean,
         linear=args.linear,
@@ -283,15 +369,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         use_presolve=not args.no_presolve,
         tracer=tracer,
         event_bus=event_bus,
+        progress_monitor=monitor,
+        memory_profiler=profiler,
     )
 
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
+    try:
+        return _dispatch(args, config, tracer, recorder, profiler)
+    except BaseException:
+        # The post-mortem must survive the exception it explains (the
+        # parallel coordinator writes its own dump before raising).
+        _dump_flight(args, recorder, reason="exception")
+        raise
+    finally:
+        if monitor is not None:
+            monitor.stop_watchdog()
+        if profiler is not None:
+            profiler.stop()
 
+
+def _dispatch(args, config, tracer, recorder, profiler) -> int:
+    """Route to the incremental / optimizing / parallel / in-process path."""
     if args.check_incremental:
-        exit_code = _run_incremental(args, config)
+        exit_code = _run_incremental(args, config, recorder, profiler)
         _export_traces(args, tracer)
+        _dump_flight(args, recorder)
         return exit_code
 
     problem = _load_problem(args, args.input[0])
@@ -300,7 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_optimization(args, problem)
 
     if args.jobs > 1:
-        return _run_parallel(args, config, problem)
+        return _run_parallel(args, config, problem, profiler)
 
     solver = ABSolver(config)
 
@@ -315,8 +416,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{count} model(s) in {elapsed:.3f}s")
         if args.stats:
             print(f"stats: {solver.stats.as_dict()}")
-        _emit_stats_json(args, solver.stats)
+        _emit_stats_json(args, solver.stats, profiler)
         _export_traces(args, tracer)
+        _dump_flight(args, recorder, solver.stats)
         return 0 if count else 20
 
     result = solver.solve(problem)
@@ -330,8 +432,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reason: {result.reason}")
     if args.stats:
         print(f"stats: {result.stats.as_dict()}")
-    _emit_stats_json(args, result.stats)
+    _emit_stats_json(args, result.stats, profiler)
     _export_traces(args, tracer)
+    _dump_flight(args, recorder, result.stats)
     # Exit codes follow SAT-solver convention: 10 SAT, 20 UNSAT, 0 unknown.
     if result.is_sat:
         return 10
@@ -340,7 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def _run_parallel(args, config, problem) -> int:
+def _run_parallel(args, config, problem, profiler=None) -> int:
     """``--jobs N``: route the solve through the parallel coordinator.
 
     Chrome traces are the *merged* coordinator + worker events (one lane
@@ -355,6 +458,7 @@ def _run_parallel(args, config, problem) -> int:
         cube_depth=args.cube_depth,
         timeout=args.parallel_timeout,
         split_budget=args.cube_split_budget,
+        flight_record=args.flight_record,
     )
     started = time.perf_counter()
     with solver:
@@ -389,15 +493,17 @@ def _run_parallel(args, config, problem) -> int:
         if args.stats and stats is not None:
             print(f"stats: {stats.as_dict()}")
         if stats is not None:
-            _emit_stats_json(args, stats)
+            _emit_stats_json(args, stats, profiler)
         if args.trace and config.tracer is not None:
             config.tracer.export_jsonl(args.trace)
         if args.trace_chrome:
             solver.export_chrome(args.trace_chrome)
+        if args.flight_record:
+            solver.write_flight_dump()
     return exit_code
 
 
-def _run_incremental(args, config) -> int:
+def _run_incremental(args, config, recorder=None, profiler=None) -> int:
     """``--check-incremental``: one session, one frame + check per file."""
     from .core.session import SolverSession
 
@@ -433,7 +539,9 @@ def _run_incremental(args, config) -> int:
         exit_code = 10 if result.is_sat else 20 if result.is_unsat else 0
     if args.stats:
         print(f"stats: {session.stats.as_dict()}")
-    _emit_stats_json(args, session.stats)
+    _emit_stats_json(args, session.stats, profiler)
+    if recorder is not None:
+        recorder.bind_stats(session.stats)
     return exit_code
 
 

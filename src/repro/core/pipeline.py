@@ -56,6 +56,7 @@ from ..obs.events import (
     TheoryFeasible,
     VerdictReached,
 )
+from ..obs.profile import NULL_PROFILER
 from ..obs.trace import NULL_TRACER
 from ..sat.cnf import CNF, Assignment
 from .circuit import Circuit
@@ -241,7 +242,7 @@ class CandidateGenerationStage(SolverStage):
         stats = pipeline.stats
         with stats.timed(self.name), pipeline.tracer.span(
             self.name, backend=self._boolean.name
-        ):
+        ), pipeline.profiler.stage(self.name):
             alpha = self._boolean.solve(self._cnf, assumptions)
         stats.boolean_queries += 1
         return alpha
@@ -420,7 +421,7 @@ class LinearCheckStage(SolverStage):
         stats = pipeline.stats
         with stats.timed(self.name), pipeline.tracer.span(
             self.name, backend=self._linear.name, rows=len(system.rows)
-        ):
+        ), pipeline.profiler.stage(self.name):
             result = self._linear.check(system)
         stats.linear_checks += 1
         hits = getattr(self._linear, "warm_start_hits", 0)
@@ -485,7 +486,7 @@ class NonlinearCheckStage(SolverStage):
                 continue
             with stats.timed(self.name), pipeline.tracer.span(
                 self.name, backend=solver.name, constraints=len(all_constraints)
-            ):
+            ), pipeline.profiler.stage(self.name):
                 nlp = solver.solve(
                     all_constraints, bounds=declared or bounds, hints=hints
                 )
@@ -537,7 +538,7 @@ class ConflictRefinementStage(SolverStage):
             return Refinement(tags, minimal=False)
         with stats.timed(self.name), pipeline.tracer.span(
             self.name, kind="iis", backend=self._linear.name
-        ):
+        ), pipeline.profiler.stage(self.name):
             refinement = self._linear.refine(system)
         stats.conflicts_refined += 1
         if pipeline.bus.active:
@@ -580,7 +581,7 @@ class ConflictRefinementStage(SolverStage):
         )
         with pipeline.stats.timed(self.name), pipeline.tracer.span(
             self.name, kind="interval", constraints=len(constraints)
-        ):
+        ), pipeline.profiler.stage(self.name):
             result = refuter.refute(constraints, bounds)
         if result.status is RefuteStatus.REFUTED:
             pipeline.stats.interval_refutations += 1
@@ -645,6 +646,14 @@ class SolvePipeline:
         #: Typed event bus.  A private bus with no sinks is inactive, and
         #: publishers check :attr:`EventBus.active` before building events.
         self.bus = getattr(config, "event_bus", None) or EventBus()
+        #: Per-stage memory attribution (:mod:`repro.obs.profile`); the
+        #: shared no-op unless the config carries a started
+        #: :class:`~repro.obs.profile.MemoryProfiler` (``--profile-memory``).
+        self.profiler = getattr(config, "memory_profiler", None) or NULL_PROFILER
+        #: Optional :class:`~repro.obs.progress.ProgressMonitor`, ticked
+        #: once per control-loop iteration (``--progress`` heartbeats and
+        #: the stall watchdog both hang off it).
+        self.progress = getattr(config, "progress_monitor", None)
         legacy_trace = getattr(config, "trace", None)
         if legacy_trace is not None:
             self.bus.subscribe(LegacyTraceSink(legacy_trace))
@@ -899,6 +908,7 @@ class SolvePipeline:
         config = self.config
         stats = self.stats
         bus = self.bus
+        progress = self.progress
 
         # Stage 0: formula-level presolve.  Computed once per structural
         # state of the problem (sessions invalidate on assert/define/pop),
@@ -906,6 +916,10 @@ class SolvePipeline:
         # Boolean solver with deduced unit facts, and hands tightened
         # bounds to every later stage.
         store = self.presolve.ensure(problem)
+        if progress is not None:
+            # First heartbeat before the control loop: even a query the
+            # presolve stage settles outright emits >= 1 snapshot.
+            progress.tick("presolve", presolve_units=stats.presolve_units_emitted)
         if store is not None:
             if store.infeasible:
                 if bus.active:
@@ -938,6 +952,18 @@ class SolvePipeline:
         lemmas: List[List[int]] = []
 
         for iteration in range(config.max_iterations):
+            if progress is not None:
+                # Same cadence as the poll cancellation hook: one tick per
+                # control-loop iteration keeps the watchdog fed and the
+                # heartbeat counters fresh without touching the stage hot
+                # paths.
+                progress.tick(
+                    "boolean",
+                    iteration=iteration,
+                    boolean_queries=stats.boolean_queries,
+                    blocking_clauses=stats.blocking_clauses,
+                    presolve_units=stats.presolve_units_emitted,
+                )
             if poll is not None and not poll():
                 if bus.active:
                     bus.publish(
@@ -1060,7 +1086,7 @@ class SolvePipeline:
         stats = self.stats
         with stats.timed(self.translation.name), self.tracer.span(
             self.translation.name, phase="plan"
-        ):
+        ), self.profiler.stage(self.translation.name):
             plan = self.translation.plan(problem, alpha)
         if len(plan.splits) > self.config.max_equality_splits:
             raise RuntimeError(
@@ -1099,7 +1125,7 @@ class SolvePipeline:
         """Check one fully-split constraint conjunction."""
         with self.stats.timed(self.translation.name), self.tracer.span(
             self.translation.name, phase="materialize", branch=len(branch)
-        ):
+        ), self.profiler.stage(self.translation.name):
             system, nonlinear_constraints = self.translation.materialize(
                 problem, branch, domains
             )

@@ -392,7 +392,8 @@ class PresolveStage(SolverStage):
         previous = self._store
         with self._pipeline.stats.timed(self.name):
             with self._pipeline.tracer.span(self.name):
-                store = self._compute(problem)
+                with self._pipeline.profiler.stage(self.name):
+                    store = self._compute(problem)
         if previous is not None:
             if previous.fingerprint() == store.fingerprint():
                 # Same deductions: keep downstream caches (and the

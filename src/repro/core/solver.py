@@ -199,6 +199,8 @@ class ABSolverConfig:
         tracer: Optional[object] = None,
         event_bus: Optional[object] = None,
         use_presolve: bool = True,
+        progress_monitor: Optional[object] = None,
+        memory_profiler: Optional[object] = None,
     ):
         self.boolean = boolean
         self.linear = linear
@@ -241,6 +243,16 @@ class ABSolverConfig:
         #: pipeline).  Certificate recording disables it regardless, so the
         #: recorded lemma stream stays self-contained.
         self.use_presolve = use_presolve
+        #: Optional :class:`repro.obs.progress.ProgressMonitor`.  The
+        #: pipeline ticks it once per control-loop iteration (and the
+        #: parallel coordinator from its collect loop), which feeds the
+        #: ``--progress`` heartbeats and the stall watchdog.
+        self.progress_monitor = progress_monitor
+        #: Optional :class:`repro.obs.profile.MemoryProfiler` (started by
+        #: the caller).  ``None`` selects the shared no-op fast path; a
+        #: live profiler attributes sampled tracemalloc readings to every
+        #: pipeline stage (``--profile-memory``).
+        self.memory_profiler = memory_profiler
 
 
 class ABSolver:

@@ -25,6 +25,20 @@ the staged pipeline (:mod:`repro.core.pipeline`):
 trajectory records (wall time, per-stage breakdown, counter snapshot, git
 SHA) from the benchmark harness, making the perf trajectory of this
 reproduction machine-readable across PRs.
+
+The deep-diagnostics layer on top (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.recorder` — a bounded ring-buffer
+  :class:`~repro.obs.recorder.FlightRecorder` subscribing to the bus and
+  to span closes, dumped as JSONL post-mortems on exception, parallel
+  timeout, or ``--flight-record`` request.
+* :mod:`repro.obs.progress` — periodic
+  :class:`~repro.obs.progress.ProgressSnapshot` heartbeats plus a
+  wall-clock stall watchdog (:class:`~repro.obs.progress.StageStalled`),
+  rendered live by ``--progress``.
+* :mod:`repro.obs.profile` — per-stage memory attribution via sampled
+  ``tracemalloc`` (``--profile-memory``), with the
+  :data:`~repro.obs.profile.NULL_PROFILER` no-op fast path.
 """
 
 from .trace import NULL_TRACER, NullTracer, Span, SpanTracer
@@ -47,8 +61,16 @@ from .events import (
     VerboseSink,
     VerdictReached,
 )
-from .metrics import Counter, Histogram, MetricsRegistry
-from .bench_record import bench_record_payload, write_bench_record
+from .metrics import Counter, Histogram, MetricsRegistry, RESERVOIR_SIZE
+from .bench_record import (
+    bench_record_payload,
+    latest_record,
+    load_trajectory,
+    write_bench_record,
+)
+from .recorder import FlightRecorder
+from .progress import ProgressMonitor, ProgressRenderer, ProgressSnapshot, StageStalled
+from .profile import MemoryProfiler, NullMemoryProfiler, NULL_PROFILER
 
 __all__ = [
     "NULL_TRACER",
@@ -75,6 +97,17 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "RESERVOIR_SIZE",
     "bench_record_payload",
     "write_bench_record",
+    "load_trajectory",
+    "latest_record",
+    "FlightRecorder",
+    "ProgressMonitor",
+    "ProgressRenderer",
+    "ProgressSnapshot",
+    "StageStalled",
+    "MemoryProfiler",
+    "NullMemoryProfiler",
+    "NULL_PROFILER",
 ]

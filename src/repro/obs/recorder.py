@@ -1,0 +1,209 @@
+"""A bounded flight recorder: the last N solver events, always on, O(1) memory.
+
+Span traces and ``--stats-json`` explain a solve *after* it returns; a hung
+or crashed solve used to leave nothing.  :class:`FlightRecorder` subscribes
+to the :class:`~repro.obs.events.EventBus` (every typed event) and to span
+closes (via :attr:`repro.obs.trace.SpanTracer.span_listener`), keeping only
+the most recent :attr:`~FlightRecorder.capacity` entries in a ring buffer —
+recording costs one dict append per event, and memory never grows past the
+ring, no matter how long the solve runs.
+
+On demand — an exception, a parallel timeout, or an explicit
+``--flight-record`` request — :meth:`dump_jsonl` writes a post-mortem as
+JSONL, one JSON object per line:
+
+1. a ``flight-header`` line (schema version, reason, pid, totals);
+2. the retained ring entries in order (``event`` / ``span`` / ``note``
+   kinds, each stamped with seconds since the recorder started);
+3. a ``counters`` line snapshotting the bound
+   :class:`~repro.core.stats.SolveStatistics` (counters + stage summaries);
+4. an ``active-spans`` line listing every span still open at dump time —
+   the live "stack trace" of where the solve was stuck.
+
+Parallel workers each run their own recorder; their :meth:`snapshot_lines`
+lists travel back in :attr:`repro.parallel.tasks.WorkerOutcome.flight_dump`
+and the coordinator merges them (each worker line tagged with its worker
+and task ids) into one dump file.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .events import EventBus, SolveEvent
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Ring-buffered event/span recorder with JSONL post-mortem dumps."""
+
+    #: Bump when the dump line shapes change (checked by tests and any
+    #: downstream dump reader).
+    SCHEMA_VERSION = 1
+
+    #: Default ring size.  512 entries cover the tail of any realistic
+    #: stall (the control loop emits a handful of entries per iteration)
+    #: while keeping worker dumps cheap to pickle back to the coordinator.
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, name: str = "absolver"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        #: Total entries ever recorded (``recorded - len(ring)`` were evicted).
+        self.recorded = 0
+        self._epoch = time.monotonic()
+        self._bus: Optional[EventBus] = None
+        self._tracer = None
+        self._span_hook = None
+        self._stats = None
+
+    # -- wiring ---------------------------------------------------------
+    def attach(self, bus: Optional[EventBus] = None, tracer=None, stats=None) -> "FlightRecorder":
+        """Subscribe to a bus and/or hook a tracer's span closes.
+
+        ``stats`` (a :class:`~repro.core.stats.SolveStatistics`) is only
+        read at dump time; bind it late via :meth:`bind_stats` when the
+        per-query object does not exist yet.
+        """
+        if bus is not None:
+            self._bus = bus
+            bus.subscribe(self)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            self._tracer = tracer
+            # One stable bound method, so detach can recognise its own hook.
+            self._span_hook = self._record_span
+            tracer.span_listener = self._span_hook
+        if stats is not None:
+            self._stats = stats
+        return self
+
+    def detach(self) -> None:
+        """Undo :meth:`attach` (keeps the recorded ring)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        if self._tracer is not None:
+            if self._tracer.span_listener is self._span_hook:
+                self._tracer.span_listener = None
+            self._tracer = None
+            self._span_hook = None
+
+    def bind_stats(self, stats) -> None:
+        """Set (or replace) the statistics snapshotted into dumps."""
+        self._stats = stats
+
+    # -- recording (the hot path) ---------------------------------------
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self.recorded += 1
+        self._entries.append(entry)
+
+    def __call__(self, event: SolveEvent) -> None:
+        """EventBus sink: record one typed solve event."""
+        # Payload first so the reserved keys below always win, whatever
+        # field names an event declares.
+        entry = dict(event.payload())
+        entry["t"] = time.monotonic() - self._epoch
+        entry["kind"] = "event"
+        entry["event"] = type(event).__name__
+        self._append(entry)
+
+    def _record_span(self, span) -> None:
+        """SpanTracer ``span_listener``: record one closed span."""
+        entry = {
+            "t": time.monotonic() - self._epoch,
+            "kind": "span",
+            "name": span.name,
+            "dur_us": span.duration_us,
+            "depth": span.depth,
+        }
+        if span.error:
+            entry["error"] = True
+        if span.args:
+            entry["args"] = dict(span.args)
+        self._append(entry)
+
+    def note(self, name: str, **fields: Any) -> None:
+        """Record a free-form marker (coordinator dispatch, teardown, ...)."""
+        entry = dict(fields)
+        entry["t"] = time.monotonic() - self._epoch
+        entry["kind"] = "note"
+        entry["note"] = name
+        self._append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted from the ring so far."""
+        return self.recorded - len(self._entries)
+
+    # -- dumping --------------------------------------------------------
+    def snapshot_lines(self, reason: str = "requested") -> List[Dict[str, Any]]:
+        """The dump as a list of JSON-ready dicts (one per JSONL line).
+
+        The list form is what crosses the worker -> coordinator process
+        boundary; :meth:`dump_jsonl` serializes it.
+        """
+        lines: List[Dict[str, Any]] = [
+            {
+                "kind": "flight-header",
+                "schema": self.SCHEMA_VERSION,
+                "recorder": self.name,
+                "reason": reason,
+                "pid": os.getpid(),
+                "recorded_unix": time.time(),
+                "events_recorded": self.recorded,
+                "events_dropped": self.dropped,
+                "capacity": self.capacity,
+            }
+        ]
+        lines.extend(dict(entry) for entry in self._entries)
+        stats = self._stats
+        if stats is not None:
+            registry = getattr(stats, "registry", None)
+            if registry is not None:
+                lines.append(
+                    {
+                        "kind": "counters",
+                        "counters": {
+                            name: counter.value
+                            for name, counter in sorted(registry.counters.items())
+                        },
+                        "stages": {
+                            name: histogram.summary()
+                            for name, histogram in sorted(registry.histograms.items())
+                        },
+                    }
+                )
+        tracer = self._tracer
+        if tracer is not None:
+            lines.append({"kind": "active-spans", "spans": tracer.open_spans()})
+        return lines
+
+    def dump_jsonl(
+        self, target: Union[str, IO[str]], reason: str = "requested"
+    ) -> None:
+        """Write the post-mortem dump as JSONL (one object per line)."""
+        lines = self.snapshot_lines(reason)
+        if hasattr(target, "write"):
+            for line in lines:
+                target.write(json.dumps(line, sort_keys=True, default=str) + "\n")  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+                for line in lines:
+                    handle.write(json.dumps(line, sort_keys=True, default=str) + "\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({self.name!r}, {len(self._entries)}/{self.capacity} "
+            f"entries, {self.dropped} dropped)"
+        )

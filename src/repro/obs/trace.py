@@ -159,6 +159,9 @@ class SpanTracer:
         self.process_name = process_name
         self.spans: List[Span] = []
         self.instants: List[Span] = []
+        #: Optional callable invoked with each span as it closes (the
+        #: flight recorder's hook).  ``None`` keeps the close path free.
+        self.span_listener = None
         self._epoch = time.perf_counter()
         self._stacks: Dict[int, List[Span]] = {}
         self._tids: Dict[int, int] = {}
@@ -197,6 +200,9 @@ class SpanTracer:
         if stack:
             stack.pop()
         self.spans.append(span)
+        listener = self.span_listener
+        if listener is not None:
+            listener(span)
 
     def instant(self, name: str, category: str = "event", **args: Any) -> None:
         """Record a zero-duration marker (rendered as an arrow in Perfetto)."""
@@ -210,6 +216,29 @@ class SpanTracer:
     def open_depth(self) -> int:
         """Nesting depth of the calling thread (0 = no open span)."""
         return len(self._stacks.get(threading.get_ident(), ()))
+
+    def open_spans(self) -> List[Dict[str, Any]]:
+        """Every still-open span across threads, outermost first per thread.
+
+        This is the flight recorder's "where was the solve stuck" stack:
+        each entry carries the span's name, category, depth, tid, and its
+        age in microseconds at snapshot time.
+        """
+        now = self._now_us()
+        snapshot: List[Dict[str, Any]] = []
+        for stack in self._stacks.values():
+            for span in stack:
+                entry: Dict[str, Any] = {
+                    "name": span.name,
+                    "cat": span.category,
+                    "depth": span.depth,
+                    "tid": span.tid,
+                    "age_us": now - span.start_us,
+                }
+                if span.args:
+                    entry["args"] = dict(span.args)
+                snapshot.append(entry)
+        return snapshot
 
     def clear(self) -> None:
         self.spans.clear()

@@ -57,6 +57,7 @@ from ..obs.events import (
     ParallelCancelled,
     WorkerFinished,
 )
+from ..obs.recorder import FlightRecorder
 from ..obs.trace import NULL_TRACER
 from .cubes import build_cubes
 from .portfolio import portfolio_specs
@@ -112,6 +113,7 @@ class ParallelSolver:
         share_lemmas: bool = True,
         grace: float = 2.0,
         split_budget: Optional[int] = None,
+        flight_record: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -134,6 +136,21 @@ class ParallelSolver:
 
         self.tracer = getattr(self.config, "tracer", None) or NULL_TRACER
         self.bus = getattr(self.config, "event_bus", None) or EventBus()
+
+        #: Flight-recorder dump path.  Truthy enables the coordinator-side
+        #: :class:`~repro.obs.recorder.FlightRecorder` *and* per-worker
+        #: recorders (their rings come home in each outcome); the merged
+        #: dump is written here automatically on timeout or worker error,
+        #: or on demand via :meth:`write_flight_dump`.
+        self.flight_record = flight_record
+        self.flight_recorder: Optional[FlightRecorder] = None
+        if flight_record:
+            self.flight_recorder = FlightRecorder(name="coordinator").attach(
+                bus=self.bus,
+                tracer=self.tracer if self.tracer is not NULL_TRACER else None,
+            )
+        self._worker_dumps: List[Tuple[int, int, List[Dict[str, Any]]]] = []
+        self._auto_dump_reason: Optional[str] = None
 
         #: Cumulative statistics over every parallel solve of this object.
         self.stats = SolveStatistics()
@@ -312,11 +329,13 @@ class ParallelSolver:
                     trace=trace,
                     model_limit=limit,
                     share_lemmas=False,  # enumeration shares no check loop
+                    flight_record=bool(self.flight_record),
                 )
                 for index, cube in enumerate(cubes)
             ]
-            outcomes, _, _ = self._run_tasks(tasks, early_stop=None)
+            outcomes, _, timed_out = self._run_tasks(tasks, early_stop=None)
             self._finish_stats(tasks, outcomes)
+            self._maybe_auto_dump(outcomes, timed_out)
             self._raise_worker_errors(outcomes)
             models: List[ABModel] = []
             seen = set()
@@ -384,6 +403,7 @@ class ParallelSolver:
     # ------------------------------------------------------------------
     def _prepare_generation(self) -> int:
         self._ensure_pool()
+        self._auto_dump_reason = None
         return self._bump_generation()
 
     def _build_check_tasks(self, problem, assumptions: Sequence[int]) -> List[SolveTask]:
@@ -403,6 +423,7 @@ class ParallelSolver:
                         assumptions=assumptions,
                         trace=trace,
                         share_lemmas=self.share_lemmas,
+                        flight_record=bool(self.flight_record),
                     )
                 )
         else:
@@ -426,6 +447,7 @@ class ParallelSolver:
                         trace=trace,
                         share_lemmas=self.share_lemmas,
                         split_budget=budget,
+                        flight_record=bool(self.flight_record),
                     )
                 )
         return tasks
@@ -453,6 +475,9 @@ class ParallelSolver:
         timed_out: bool,
     ) -> ABResult:
         stats = self._finish_stats(tasks, outcomes)
+        # Dump *before* raising worker errors: the post-mortem must
+        # survive the exception it explains.
+        self._maybe_auto_dump(outcomes, timed_out)
         self._raise_worker_errors(outcomes)
 
         ordered = sorted(outcomes.values(), key=lambda o: o.task_id)
@@ -537,9 +562,64 @@ class ParallelSolver:
             if outcome.trace_events
             for event in outcome.trace_events
         ]
+        self._worker_dumps = [
+            (outcome.worker_id, outcome.task_id, outcome.flight_dump)
+            for outcome in sorted(outcomes.values(), key=lambda o: o.task_id)
+            if outcome.flight_dump
+        ]
         self.last_stats = stats
         self.stats.merge(stats)
         return stats
+
+    # ------------------------------------------------------------------
+    # Flight-recorder dumps
+    # ------------------------------------------------------------------
+    def _maybe_auto_dump(self, outcomes: Dict[int, WorkerOutcome], timed_out: bool) -> None:
+        """Write the post-mortem automatically when the solve went wrong."""
+        if self.flight_recorder is None or not self.flight_record:
+            return
+        if timed_out:
+            self._auto_dump_reason = "timeout"
+        elif any(
+            outcome.status == WorkerOutcome.ERROR for outcome in outcomes.values()
+        ):
+            self._auto_dump_reason = "worker-error"
+        else:
+            return
+        self.write_flight_dump(reason=self._auto_dump_reason)
+
+    def write_flight_dump(self, target=None, reason: Optional[str] = None):
+        """Write the merged coordinator + worker flight dump as JSONL.
+
+        ``target`` defaults to the ``flight_record`` path this solver was
+        built with; worker lines are tagged with their ``worker`` and
+        ``task`` ids.  Returns the target written to, or ``None`` when
+        flight recording is off.
+        """
+        import json
+
+        recorder = self.flight_recorder
+        if recorder is None:
+            return None
+        target = target if target is not None else self.flight_record
+        if not target:
+            return None
+        if reason is None:
+            reason = self._auto_dump_reason or "requested"
+        recorder.bind_stats(self.last_stats)
+        lines = recorder.snapshot_lines(reason=reason)
+        for worker_id, task_id, dump in self._worker_dumps:
+            lines.extend(
+                dict(line, worker=worker_id, task=task_id) for line in dump
+            )
+        if hasattr(target, "write"):
+            for line in lines:
+                target.write(json.dumps(line, sort_keys=True, default=str) + "\n")
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(json.dumps(line, sort_keys=True, default=str) + "\n")
+        return target
 
     # ------------------------------------------------------------------
     # The collect loop
@@ -551,6 +631,7 @@ class ParallelSolver:
     ) -> Tuple[Dict[int, WorkerOutcome], List[WorkerOutcome], bool]:
         gen = tasks[0].gen if tasks else self._generation
         bus = self.bus
+        monitor = getattr(self.config, "progress_monitor", None)
         for task in tasks:
             if bus.active:
                 bus.publish(
@@ -574,6 +655,14 @@ class ParallelSolver:
 
         while len(outcomes) < len(tasks):
             now = time.monotonic()
+            if monitor is not None:
+                # The monitor rate-limits itself, so ticking every loop
+                # pass is cheap; queue depth is the undecided task count.
+                monitor.tick(
+                    "parallel",
+                    cube_queue_depth=len(tasks) - len(outcomes),
+                    lemmas_shared=self._lemmas_shared,
+                )
             if deadline is not None and not timed_out and now >= deadline:
                 timed_out = True
                 cancelled = True
@@ -625,6 +714,7 @@ class ParallelSolver:
                             trace=parent.trace,
                             share_lemmas=parent.share_lemmas,
                             split_budget=parent.split_budget,
+                            flight_record=parent.flight_record,
                         )
                         tasks.append(child)
                         if bus.active:

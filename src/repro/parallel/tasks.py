@@ -156,6 +156,7 @@ class SolveTask:
         "model_limit",
         "share_lemmas",
         "split_budget",
+        "flight_record",
     )
 
     #: ``kind`` values.
@@ -175,6 +176,7 @@ class SolveTask:
         model_limit: Optional[int] = None,
         share_lemmas: bool = True,
         split_budget: int = 0,
+        flight_record: bool = False,
     ):
         self.task_id = task_id
         self.gen = gen
@@ -193,6 +195,10 @@ class SolveTask:
         #: returns a :attr:`WorkerOutcome.SPLIT` outcome carrying two
         #: subcubes instead of a verdict.  ``0`` disables self-splitting.
         self.split_budget = split_budget
+        #: Run a per-worker :class:`repro.obs.recorder.FlightRecorder`
+        #: around this task; its dump travels back in
+        #: :attr:`WorkerOutcome.flight_dump` for the coordinator to merge.
+        self.flight_record = flight_record
 
     def __repr__(self) -> str:
         return (
@@ -217,6 +223,7 @@ class WorkerOutcome:
         "error",
         "label",
         "subcubes",
+        "flight_dump",
     )
 
     #: ``status`` values beyond the verdict strings "sat"/"unsat"/"unknown".
@@ -241,6 +248,7 @@ class WorkerOutcome:
         error: str = "",
         label: str = "",
         subcubes: Optional[List[Tuple[int, ...]]] = None,
+        flight_dump: Optional[List[Dict[str, Any]]] = None,
     ):
         self.task_id = task_id
         self.worker_id = worker_id
@@ -256,6 +264,10 @@ class WorkerOutcome:
         #: For :attr:`SPLIT` outcomes: the replacement cubes (each already
         #: including the parent cube's literals).
         self.subcubes = subcubes
+        #: Flight-recorder snapshot lines of this task's worker-side run
+        #: (see :meth:`repro.obs.recorder.FlightRecorder.snapshot_lines`),
+        #: present when the task asked for :attr:`SolveTask.flight_record`.
+        self.flight_dump = flight_dump
 
     def __repr__(self) -> str:
         return (

@@ -57,6 +57,8 @@ from typing import Dict, List
 
 from ..core.session import SolverSession
 from ..core.solver import ABSolver, ABStatus
+from ..obs.events import EventBus
+from ..obs.recorder import FlightRecorder
 from ..obs.trace import SpanTracer
 from .cubes import refine_cube_bounds, split_cube
 from .tasks import SolveTask, WorkerOutcome
@@ -104,14 +106,15 @@ def _problem_fingerprint(problem) -> tuple:
     )
 
 
-def _session_for(task: SolveTask, tracer=None) -> SolverSession:
+def _session_for(task: SolveTask, tracer=None, bus=None) -> SolverSession:
     """The persistent session for this task, building it on first use.
 
-    Traced tasks always get a fresh session so their Chrome events stay
-    scoped to the one task being debugged.
+    Traced and flight-recorded tasks always get a fresh session so their
+    Chrome events / recorder ring stay scoped to the one task being
+    debugged.
     """
-    if task.trace:
-        session = SolverSession(task.spec.to_config(tracer=tracer))
+    if task.trace or bus is not None:
+        session = SolverSession(task.spec.to_config(tracer=tracer, event_bus=bus))
         session.assert_problem(task.problem)
         return session
     key = (_spec_fingerprint(task.spec), _problem_fingerprint(task.problem))
@@ -143,8 +146,8 @@ def _drain_lemmas(session: SolverSession, lemma_queue, gen: int) -> None:
             session.import_lemmas([clause], lazy=True)
 
 
-def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value, tracer):
-    session = _session_for(task, tracer)
+def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value, tracer, bus=None):
+    session = _session_for(task, tracer, bus)
 
     # The cube's decision literals often imply tighter variable boxes than
     # the declared bounds; apply them in a scratch frame so the in-session
@@ -218,8 +221,8 @@ def _run_check(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_v
     )
 
 
-def _run_all_models(task: SolveTask, worker_id: int, gen_value, tracer):
-    config = task.spec.to_config(tracer=tracer)
+def _run_all_models(task: SolveTask, worker_id: int, gen_value, tracer, bus=None):
+    config = task.spec.to_config(tracer=tracer, event_bus=bus)
     # The problem arrived pickled, so it is worker-local: asserting the
     # cube literals as unit clauses restricts this worker to its disjoint
     # shard of the enumeration space.
@@ -248,16 +251,27 @@ def _run_all_models(task: SolveTask, worker_id: int, gen_value, tracer):
 def _execute(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_value):
     tracer = (
         SpanTracer(process_name=f"absolver-worker-{worker_id}")
-        if task.trace
+        if task.trace or task.flight_record
         else None
     )
+    bus = None
+    recorder = None
+    if task.flight_record:
+        # Per-worker black box: a private bus + recorder scoped to this
+        # task, whose ring travels home in the outcome for the
+        # coordinator to merge into the post-mortem dump.
+        bus = EventBus()
+        recorder = FlightRecorder(name=f"worker-{worker_id}")
+        recorder.attach(bus=bus, tracer=tracer)
+        recorder.note("task-start", task_id=task.task_id, task_kind=task.kind,
+                      gen=task.gen, label=task.spec.label, cube=list(task.cube))
     try:
         if task.kind == SolveTask.CHECK:
             outcome = _run_check(
-                task, worker_id, result_queue, lemma_queue, gen_value, tracer
+                task, worker_id, result_queue, lemma_queue, gen_value, tracer, bus
             )
         elif task.kind == SolveTask.ALL_MODELS:
-            outcome = _run_all_models(task, worker_id, gen_value, tracer)
+            outcome = _run_all_models(task, worker_id, gen_value, tracer, bus)
         else:
             raise ValueError(f"unknown task kind {task.kind!r}")
     except Exception:
@@ -269,8 +283,14 @@ def _execute(task: SolveTask, worker_id: int, result_queue, lemma_queue, gen_val
             error=traceback.format_exc(),
             label=task.spec.label,
         )
-    if tracer is not None:
+        if recorder is not None:
+            recorder.note("worker-exception", error=outcome.error.strip().splitlines()[-1])
+    if tracer is not None and task.trace:
         outcome.trace_events = tracer.to_chrome_events()
+    if recorder is not None:
+        recorder.bind_stats(outcome.stats)
+        outcome.flight_dump = recorder.snapshot_lines(reason=outcome.status)
+        recorder.detach()
     return outcome
 
 

@@ -11,7 +11,7 @@ from repro import ABProblem, ABSolver, ABSolverConfig, SolverSession, parse_cons
 from repro.core.stats import SolveStatistics
 # Aliased: the repo's pytest config collects bench_* names as benchmarks.
 from repro.obs.bench_record import bench_record_payload as make_bench_payload
-from repro.obs.bench_record import write_bench_record
+from repro.obs.bench_record import latest_record, load_trajectory, write_bench_record
 from repro.obs.events import (
     BlockingClauseAdded,
     CandidateFound,
@@ -27,6 +27,14 @@ from repro.obs.events import (
     VerdictReached,
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import MemoryProfiler, NULL_PROFILER
+from repro.obs.progress import (
+    ProgressMonitor,
+    ProgressRenderer,
+    ProgressSnapshot,
+    StageStalled,
+)
+from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import NULL_TRACER, SpanTracer
 
 
@@ -447,20 +455,53 @@ class TestBenchRecord:
         payload = make_bench_payload(
             "demo", wall_seconds=1.25, stats=result.stats, extra={"depth": 3}
         )
-        assert payload["schema"] == 1
+        assert "schema" not in payload  # the trajectory container owns it
         assert payload["benchmark"] == "demo"
         assert payload["wall_seconds"] == 1.25
         assert payload["counters"]["boolean_queries"] >= 1
         assert "boolean" in payload["stages"]
+        assert payload["stages"]["boolean"]["samples"] >= 1
         assert payload["extra"] == {"depth": 3}
         assert payload["git_sha"] is None or len(payload["git_sha"]) == 40
+
+    def test_payload_carries_memory_attribution(self):
+        payload = make_bench_payload(
+            "demo", memory={"sample_every": 8, "stages": {}}
+        )
+        assert payload["memory"]["sample_every"] == 8
 
     def test_write_bench_record(self, tmp_path):
         path = write_bench_record("unit_demo", wall_seconds=0.5, directory=str(tmp_path))
         assert path.endswith("BENCH_unit_demo.json")
-        payload = json.loads((tmp_path / "BENCH_unit_demo.json").read_text())
-        assert payload["benchmark"] == "unit_demo"
-        assert payload["wall_seconds"] == 0.5
+        container = json.loads((tmp_path / "BENCH_unit_demo.json").read_text())
+        assert container["schema"] == 2
+        assert container["benchmark"] == "unit_demo"
+        latest = container["trajectory"][-1]
+        assert latest["benchmark"] == "unit_demo"
+        assert latest["wall_seconds"] == 0.5
+
+    def test_appends_accumulate_a_trajectory(self, tmp_path):
+        for run in range(3):
+            write_bench_record(
+                "traj_demo", wall_seconds=float(run), directory=str(tmp_path)
+            )
+        trajectory = load_trajectory(str(tmp_path / "BENCH_traj_demo.json"))
+        assert [entry["wall_seconds"] for entry in trajectory] == [0.0, 1.0, 2.0]
+        assert latest_record(str(tmp_path / "BENCH_traj_demo.json"))[
+            "wall_seconds"
+        ] == 2.0
+
+    def test_legacy_flat_record_still_loads(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps({"schema": 1, "benchmark": "old", "wall_seconds": 9.0}))
+        assert load_trajectory(str(legacy)) == [
+            {"schema": 1, "benchmark": "old", "wall_seconds": 9.0}
+        ]
+        # Appending migrates the flat record into a trajectory container.
+        write_bench_record("old", wall_seconds=1.0, directory=str(tmp_path))
+        container = json.loads(legacy.read_text())
+        assert container["schema"] == 2
+        assert [e["wall_seconds"] for e in container["trajectory"]] == [9.0, 1.0]
 
     def test_record_dir_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_RECORD_DIR", str(tmp_path / "records"))
@@ -469,14 +510,302 @@ class TestBenchRecord:
 
 
 # ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def _dump(self, recorder, reason="requested"):
+        stream = io.StringIO()
+        recorder.dump_jsonl(stream, reason=reason)
+        return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(100):
+            recorder.note("tick", index=index)
+        assert len(recorder) == 16
+        assert recorder.recorded == 100
+        assert recorder.dropped == 84
+        lines = self._dump(recorder)
+        header = lines[0]
+        assert header["events_recorded"] == 100
+        assert header["events_dropped"] == 84
+        # Only the newest entries survive, in order.
+        notes = [line for line in lines if line["kind"] == "note"]
+        assert [note["index"] for note in notes] == list(range(84, 100))
+
+    def test_dump_schema(self):
+        bus = EventBus()
+        tracer = SpanTracer()
+        recorder = FlightRecorder(name="unit").attach(bus=bus, tracer=tracer)
+        config = ABSolverConfig(event_bus=bus, tracer=tracer)
+        result = ABSolver(config).solve(_sat_problem())
+        recorder.bind_stats(result.stats)
+        lines = self._dump(recorder, reason="unit-test")
+        header = lines[0]
+        assert header["kind"] == "flight-header"
+        assert header["schema"] == FlightRecorder.SCHEMA_VERSION
+        assert header["recorder"] == "unit"
+        assert header["reason"] == "unit-test"
+        kinds = {line["kind"] for line in lines}
+        assert {"flight-header", "event", "span", "counters", "active-spans"} <= kinds
+        counters = next(line for line in lines if line["kind"] == "counters")
+        assert counters["counters"]["boolean_queries"] >= 1
+        assert "samples" in counters["stages"]["boolean"]
+        # The solve finished, so no span is still open.
+        active = next(line for line in lines if line["kind"] == "active-spans")
+        assert active["spans"] == []
+        # Every ring entry is timestamped relative to the recorder epoch.
+        for line in lines[1:-2]:
+            assert line["t"] >= 0
+
+    def test_active_spans_capture_the_stuck_stack(self):
+        tracer = SpanTracer()
+        recorder = FlightRecorder().attach(tracer=tracer)
+        with tracer.span("outer"):
+            with tracer.span("inner", backend="simplex"):
+                lines = self._dump(recorder, reason="stall")
+        active = next(line for line in lines if line["kind"] == "active-spans")
+        names = [span["name"] for span in active["spans"]]
+        assert names == ["outer", "inner"]
+        assert active["spans"][1]["args"] == {"backend": "simplex"}
+        assert all(span["age_us"] >= 0 for span in active["spans"])
+
+    def test_reserved_keys_survive_field_collisions(self):
+        recorder = FlightRecorder()
+        recorder.note("marker", kind="check", t=-1, note="clobber")
+        entry = self._dump(recorder)[1]
+        assert entry["kind"] == "note"
+        assert entry["note"] == "marker"
+        assert entry["t"] >= 0
+
+    def test_detach_stops_recording(self):
+        bus = EventBus()
+        tracer = SpanTracer()
+        recorder = FlightRecorder().attach(bus=bus, tracer=tracer)
+        bus.publish(VerdictReached(status="sat", iterations=1))
+        recorder.detach()
+        assert not bus.active
+        assert tracer.span_listener is None
+        bus.publish(VerdictReached(status="sat", iterations=2))
+        with tracer.span("after"):
+            pass
+        assert recorder.recorded == 1
+
+    def test_dump_to_path(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.note("only")
+        target = tmp_path / "flight.jsonl"
+        recorder.dump_jsonl(str(target), reason="exception")
+        lines = [json.loads(line) for line in target.read_text().splitlines()]
+        assert lines[0]["reason"] == "exception"
+        assert lines[1]["note"] == "only"
+
+
+# ----------------------------------------------------------------------
+# Progress heartbeats and the stall watchdog
+# ----------------------------------------------------------------------
+class TestProgress:
+    def test_first_tick_always_emits(self):
+        bus = EventBus()
+        sink = CollectingSink()
+        bus.subscribe(sink, ProgressSnapshot)
+        monitor = ProgressMonitor(bus, interval=3600.0)
+        monitor.tick("boolean", iteration=0, boolean_queries=1)
+        assert monitor.snapshots == 1
+        assert sink.events[0].stage == "boolean"
+
+    def test_interval_rate_limits(self):
+        clock = FakeClock()
+        bus = EventBus()
+        sink = CollectingSink()
+        bus.subscribe(sink, ProgressSnapshot)
+        monitor = ProgressMonitor(bus, interval=1.0, clock=clock)
+        for _ in range(10):
+            monitor.tick("boolean")
+            clock.advance(0.3)
+        # 3 seconds of ticks at a 1s interval: first + two refreshes... the
+        # emission points are t=0, t>=1 (t=1.2), t>=2.2 (t=2.4).
+        assert monitor.snapshots == 3
+        assert len(sink.events) == 3
+
+    def test_stall_detected_at_tick_time(self):
+        clock = FakeClock()
+        bus = EventBus()
+        stalls = CollectingSink()
+        bus.subscribe(stalls, StageStalled)
+        monitor = ProgressMonitor(bus, interval=0.0, stall_budget=5.0, clock=clock)
+        monitor.tick("linear")
+        clock.advance(20.0)
+        monitor.tick("linear")
+        assert monitor.stalls == 1
+        event = stalls.events[0]
+        assert event.stage == "linear"
+        assert event.stalled_for == pytest.approx(20.0)
+        assert event.budget == 5.0
+
+    def test_watchdog_fires_once_per_episode(self):
+        bus = EventBus()
+        stalls = CollectingSink()
+        bus.subscribe(stalls, StageStalled)
+        monitor = ProgressMonitor(bus, interval=0.0, stall_budget=0.05)
+        monitor.tick("nonlinear")
+        monitor.start_watchdog(poll_interval=0.02)
+        try:
+            deadline = time.monotonic() + 2.0
+            while not stalls.events and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            monitor.stop_watchdog()
+        assert monitor.stalls == 1  # one alarm, not one per poll
+        assert stalls.events[0].stage == "nonlinear"
+
+    def test_pipeline_emits_heartbeat_on_watertank_family(self):
+        from repro.benchgen import watertank_unroll_family
+
+        family = watertank_unroll_family(4)
+        bus = EventBus()
+        sink = CollectingSink()
+        bus.subscribe(sink, ProgressSnapshot)
+        monitor = ProgressMonitor(bus, interval=0.0)
+        config = ABSolverConfig(event_bus=bus, progress_monitor=monitor)
+        depth = family.max_depth
+        result = ABSolver(config).solve(
+            family.problem_at_depth(depth),
+            assumptions=family.check_assumptions(depth),
+        )
+        assert result.status.value in ("sat", "unsat")
+        assert monitor.snapshots >= 1
+        stages = {event.stage for event in sink.events}
+        assert "presolve" in stages or "boolean" in stages
+
+    def test_renderer_formats_both_events(self):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream)
+        renderer(
+            ProgressSnapshot(
+                elapsed=1.5,
+                stage="linear",
+                iteration=7,
+                boolean_queries=9,
+                blocking_clauses=4,
+                presolve_units=2,
+                cube_queue_depth=3,
+                lemmas_shared=1,
+            )
+        )
+        renderer(StageStalled(stage="nonlinear", stalled_for=31.0, budget=30.0))
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == (
+            "[progress +1.5s] stage=linear iter=7 boolean=9 blocked=4 "
+            "presolve_units=2 queue=3 lemmas=1"
+        )
+        assert lines[1] == (
+            "[stalled] stage=nonlinear no progress for 31.0s (budget 30.0s)"
+        )
+
+    def test_validation(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            ProgressMonitor(bus, interval=-1.0)
+        with pytest.raises(ValueError):
+            ProgressMonitor(bus, stall_budget=0.0)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for rate-limit and stall tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Memory profiler
+# ----------------------------------------------------------------------
+class TestMemoryProfiler:
+    def test_null_profiler_is_shared_noop(self):
+        assert not NULL_PROFILER.enabled
+        handle_a = NULL_PROFILER.stage("linear")
+        handle_b = NULL_PROFILER.stage("boolean")
+        assert handle_a is handle_b
+        with handle_a:
+            pass
+        assert NULL_PROFILER.summary() == {}
+
+    def test_attributes_growth_to_stages(self):
+        profiler = MemoryProfiler(sample_every=1)
+        profiler.start()
+        try:
+            keep = []
+            for _ in range(4):
+                with profiler.stage("linear"):
+                    keep.append(bytearray(64 * 1024))
+                with profiler.stage("boolean"):
+                    pass
+            summary = profiler.summary()
+        finally:
+            profiler.stop()
+        linear = summary["stages"]["linear"]
+        assert linear["entries"] == 4
+        assert linear["samples"] == 4
+        assert linear["net_kb"] > 4 * 60  # ~64 KiB growth per sampled entry
+        assert linear["peak_kb"] >= 60
+        assert summary["stages"]["boolean"]["net_kb"] < linear["net_kb"]
+        assert summary["sample_every"] == 1
+
+    def test_sampling_counts_every_entry(self):
+        profiler = MemoryProfiler(sample_every=8)
+        profiler.start()
+        try:
+            for _ in range(20):
+                with profiler.stage("boolean"):
+                    pass
+            summary = profiler.summary()
+        finally:
+            profiler.stop()
+        boolean = summary["stages"]["boolean"]
+        assert boolean["entries"] == 20
+        assert boolean["samples"] == 3  # entries 0, 8, 16
+
+    def test_unstarted_profiler_still_counts(self):
+        profiler = MemoryProfiler()
+        with profiler.stage("linear"):
+            pass
+        assert profiler.summary()["stages"]["linear"] == {
+            "entries": 1,
+            "samples": 0,
+            "net_kb": 0.0,
+            "peak_kb": 0.0,
+        }
+
+    def test_solve_with_profiler_lands_in_config(self):
+        profiler = MemoryProfiler(sample_every=1)
+        profiler.start()
+        try:
+            config = ABSolverConfig(memory_profiler=profiler)
+            result = ABSolver(config).solve(_sat_problem())
+            assert result.is_sat
+            stages = profiler.summary()["stages"]
+        finally:
+            profiler.stop()
+        assert {"boolean", "linear"} <= set(stages)
+        assert stages["boolean"]["entries"] >= 1
+
+
+# ----------------------------------------------------------------------
 # Overhead guard
 # ----------------------------------------------------------------------
-def _midsize_solve(tracer=None):
+def _midsize_solve(tracer=None, bus=None):
     """One mid-size difference-logic solve (the FISCHER unroll at depth 6)."""
     from repro.benchgen import fischer_unroll_family
 
     family = fischer_unroll_family(6)
-    config = ABSolverConfig(linear="difference", tracer=tracer)
+    config = ABSolverConfig(linear="difference", tracer=tracer, event_bus=bus)
     result = ABSolver(config).solve(
         family.problem_at_depth(6), assumptions=family.check_assumptions(6)
     )
@@ -523,4 +852,34 @@ class TestOverheadGuard:
         assert traced <= untraced * 1.05 + 0.005, (
             f"traced {traced * 1000:.1f}ms vs untraced {untraced * 1000:.1f}ms "
             "exceeds the 5% instrumentation budget"
+        )
+
+    def test_recorder_overhead_within_five_percent(self):
+        """A flight recorder on a fully traced solve stays under 5% extra.
+
+        Both sides run traced with an active bus, so the comparison
+        isolates what the *recorder* adds: one ring append per event and
+        per span close.  Best-of-5 strips scheduler noise.
+        """
+        _midsize_solve()  # warm imports and code paths
+
+        def best_of(runs, recorded):
+            best = float("inf")
+            for _ in range(runs):
+                tracer = SpanTracer()
+                bus = EventBus()
+                if recorded:
+                    FlightRecorder().attach(bus=bus, tracer=tracer)
+                else:
+                    bus.subscribe(lambda event: None)  # bus active either way
+                started = time.perf_counter()
+                _midsize_solve(tracer, bus)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        plain = best_of(5, recorded=False)
+        recorded = best_of(5, recorded=True)
+        assert recorded <= plain * 1.05 + 0.005, (
+            f"recorded {recorded * 1000:.1f}ms vs plain {plain * 1000:.1f}ms "
+            "exceeds the 5% flight-recorder budget"
         )

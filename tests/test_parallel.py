@@ -1,5 +1,6 @@
 """Tests for the parallel solving subsystem (repro.parallel)."""
 
+import json
 import multiprocessing
 import os
 import pickle
@@ -433,3 +434,161 @@ class TestCancellationAndShutdown:
             ParallelSolver(jobs=0)
         with pytest.raises(ValueError):
             ParallelSolver(mode="race")
+
+
+def _hard_problem() -> ABProblem:
+    """Nonlinear-indefinite grinder (same shape as the timeout test above)."""
+    problem = ABProblem()
+    for index in range(1, 9):
+        problem.define(index, "real", parse_constraint(f"x*x + y*y >= {index + 1}"))
+        problem.add_clause([index, -index])
+    problem.define(9, "real", parse_constraint("x*x + y*y <= -1"))
+    problem.add_clause([9])
+    return problem
+
+
+def _check_dump_schema(lines):
+    """Assert the flight-dump JSONL invariants every reader relies on."""
+    assert lines, "empty flight dump"
+    header = lines[0]
+    assert header["kind"] == "flight-header"
+    assert header["schema"] == 1
+    assert header["events_recorded"] >= header["events_dropped"] >= 0
+    known = {"flight-header", "event", "span", "note", "counters", "active-spans"}
+    for line in lines:
+        assert isinstance(line, dict) and line.get("kind") in known
+        if line["kind"] in ("event", "span", "note"):
+            assert line["t"] >= 0
+    for line in lines:
+        if line["kind"] == "active-spans":
+            for span in line["spans"]:
+                assert {"name", "depth", "age_us"} <= set(span)
+
+
+class TestFlightRecording:
+    def test_timed_out_solve_leaves_valid_dump(self, tmp_path):
+        """The acceptance scenario: a killed parallel solve leaves a
+        schema-valid JSONL post-mortem, written before control returns."""
+        target = tmp_path / "flight.jsonl"
+        config = ABSolverConfig(refine_conflicts=False, use_interval_refuter=False)
+        solver = ParallelSolver(
+            config=config,
+            jobs=2,
+            mode="cube",
+            cube_depth=1,
+            timeout=0.3,
+            grace=1.5,
+            flight_record=str(target),
+        )
+        with solver:
+            result = solver.solve(_hard_problem())
+        assert result.status is ABStatus.UNKNOWN
+        assert target.exists()
+        lines = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        _check_dump_schema(lines)
+        assert lines[0]["recorder"] == "coordinator"
+        assert lines[0]["reason"] == "timeout"
+
+    def test_worker_dumps_survive_cancellation(self, tmp_path):
+        """Per-worker rings come home in cancelled outcomes and are merged
+        into the coordinator dump tagged with worker/task ids."""
+        target = tmp_path / "flight.jsonl"
+        config = ABSolverConfig(refine_conflicts=False, use_interval_refuter=False)
+        solver = ParallelSolver(
+            config=config,
+            jobs=2,
+            mode="cube",
+            cube_depth=1,
+            timeout=0.3,
+            grace=1.5,
+            flight_record=str(target),
+        )
+        with solver:
+            solver.solve(_hard_problem())
+            dumps = solver._worker_dumps
+        # Workers that noticed the cancellation within the grace window
+        # shipped their rings back despite never producing a verdict.
+        assert dumps, "no worker flight dumps survived the timeout"
+        for worker_id, task_id, dump in dumps:
+            _check_dump_schema(dump)
+            assert dump[0]["recorder"] == f"worker-{worker_id}"
+            assert dump[0]["reason"] in ("cancelled", "sat", "unsat", "unknown")
+        lines = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        tagged = [line for line in lines if "worker" in line]
+        assert tagged, "worker lines missing from the merged dump"
+        assert all("task" in line for line in tagged)
+
+    def test_requested_dump_on_success(self, tmp_path):
+        target = tmp_path / "flight.jsonl"
+        with ParallelSolver(
+            jobs=2, mode="cube", cube_depth=1, flight_record=str(target)
+        ) as solver:
+            assert solver.solve(small_problem()).is_sat
+            assert solver.write_flight_dump() == str(target)
+        lines = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        _check_dump_schema(lines)
+        assert lines[0]["reason"] == "requested"
+        counters = [
+            line
+            for line in lines
+            if line["kind"] == "counters" and "worker" not in line
+        ]
+        assert counters and counters[0]["counters"]["parallel_tasks"] == 2
+
+    def test_worker_error_auto_dumps_before_raise(self, tmp_path):
+        target = tmp_path / "flight.jsonl"
+        solver = ParallelSolver(jobs=2, flight_record=str(target))
+        error = WorkerOutcome(
+            task_id=0, worker_id=1, gen=1, status=WorkerOutcome.ERROR, error="boom"
+        )
+        solver._maybe_auto_dump({0: error}, timed_out=False)
+        lines = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert lines[0]["reason"] == "worker-error"
+
+    def test_worker_exception_ring_records_the_failure(self):
+        task = SolveTask(
+            task_id=3,
+            gen=1,
+            kind="no-such-kind",
+            problem=small_problem(),
+            spec=ConfigSpec(),
+            flight_record=True,
+        )
+        outcome = _execute(task, 0, None, None, None)
+        assert outcome.status == WorkerOutcome.ERROR
+        assert outcome.flight_dump is not None
+        _check_dump_schema(outcome.flight_dump)
+        notes = [l for l in outcome.flight_dump if l["kind"] == "note"]
+        assert notes[0]["note"] == "task-start" and notes[0]["task_kind"] == "no-such-kind"
+        assert any(l["note"] == "worker-exception" for l in notes)
+
+    def test_flight_record_off_adds_nothing(self):
+        with ParallelSolver(jobs=2, mode="cube", cube_depth=1) as solver:
+            assert solver.solve(small_problem()).is_sat
+            assert solver.flight_recorder is None
+            assert solver._worker_dumps == []
+            assert solver.write_flight_dump() is None
+
+    def test_coordinator_progress_ticks(self):
+        from repro.obs.events import EventBus
+        from repro.obs.progress import ProgressMonitor, ProgressSnapshot
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, ProgressSnapshot)
+        monitor = ProgressMonitor(bus, interval=0.0)
+        config = ABSolverConfig(progress_monitor=monitor)
+        with ParallelSolver(
+            config=config, jobs=2, mode="cube", cube_depth=1
+        ) as solver:
+            assert solver.solve(small_problem()).is_sat
+        assert monitor.snapshots >= 1
+        assert all(event.stage == "parallel" for event in seen)
