@@ -221,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
         "cancelled (then terminated) and the verdict is unknown",
     )
     parser.add_argument(
+        "--verdict-cache",
+        action="store_true",
+        help="consult a cross-query verdict/lemma cache keyed on canonical "
+        "problem fingerprints before running the pipeline (in-memory "
+        "unless --verdict-cache-dir is given)",
+    )
+    parser.add_argument(
+        "--verdict-cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist verdict-cache entries as JSON files under DIR so "
+        "repeated runs (and parallel workers) share verdicts; implies "
+        "--verdict-cache",
+    )
+    parser.add_argument(
         "--minimize",
         metavar="EXPR",
         default=None,
@@ -360,6 +375,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
 
+    verdict_cache = None
+    if args.verdict_cache or args.verdict_cache_dir:
+        from .core.verdict_cache import VerdictCache
+
+        verdict_cache = VerdictCache(directory=args.verdict_cache_dir)
+
     tracer, event_bus, monitor, recorder, profiler = _build_observability(args)
     config = ABSolverConfig(
         boolean=args.boolean,
@@ -367,6 +388,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         nonlinear=nonlinear,
         refine_conflicts=not args.no_refine,
         use_presolve=not args.no_presolve,
+        verdict_cache=verdict_cache,
         tracer=tracer,
         event_bus=event_bus,
         progress_monitor=monitor,

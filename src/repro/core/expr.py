@@ -17,12 +17,37 @@ variables with
   DIMACS format (Fig. 2 of the paper).
 
 Expressions are immutable; all rewriting operations return new nodes.
+
+Hash-consing
+------------
+
+Construction is routed through a per-process intern table (hash-consing):
+structurally equal nodes built while interning is enabled are the *same*
+object, so structural equality degenerates to a pointer comparison and
+derived properties (``variables()``, ``size()``, ``linear_form()``,
+``simplify()``, content fingerprints, ``__hash__``) are memoized per node
+and shared by every occurrence of a subterm.  ``walk()`` and
+``substitute()`` deduplicate by object identity, so DAG-shaped formulas
+(e.g. BMC unrolls that share frame terms) are traversed once per distinct
+subterm instead of once per occurrence.
+
+Interning is on by default; set the environment variable
+``REPRO_EXPR_INTERN=0`` (or call :func:`set_interning`) to fall back to
+plain construction.  Nodes remain fully interoperable across the two modes
+— memoization is per object and never observable through the public API.
+
+Pickling reconstructs nodes through the interning constructor
+(``__reduce__``), so shared subterms stay shared after a round-trip and
+worker IPC payloads shrink: the pickle memo emits one copy per distinct
+subterm instead of one per occurrence.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
+import os
 from fractions import Fraction
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -48,6 +73,11 @@ __all__ = [
     "parse_expression",
     "parse_constraint",
     "FUNCTION_TABLE",
+    "set_interning",
+    "interning_enabled",
+    "intern_counters",
+    "intern_table_size",
+    "clear_intern_table",
 ]
 
 
@@ -86,30 +116,115 @@ def _coerce(value: Union["Expr", Number]) -> "Expr":
     raise TypeError(f"cannot build an expression from {value!r}")
 
 
-class Expr:
+# ----------------------------------------------------------------------
+# Hash-consing (interning)
+# ----------------------------------------------------------------------
+def _intern_default() -> bool:
+    return os.environ.get("REPRO_EXPR_INTERN", "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+#: One-element cell so the metaclass fast path is a single list index.
+_INTERN_ENABLED: List[bool] = [_intern_default()]
+_INTERN_TABLE: Dict[tuple, "Expr"] = {}
+#: Safety valve for pathological workloads: the table is cleared (not
+#: partially evicted — children referenced by keys must stay consistent)
+#: once it crosses this size.
+_INTERN_LIMIT = 1_000_000
+_INTERN_STATS = {"hits": 0, "misses": 0}
+
+
+def interning_enabled() -> bool:
+    """Whether expression construction currently goes through the table."""
+    return _INTERN_ENABLED[0]
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable hash-consing; returns the previous setting."""
+    previous = _INTERN_ENABLED[0]
+    _INTERN_ENABLED[0] = bool(enabled)
+    return previous
+
+
+def intern_counters() -> Dict[str, int]:
+    """Process-wide ``{"hits": ..., "misses": ...}`` intern-table counters."""
+    return dict(_INTERN_STATS)
+
+
+def intern_table_size() -> int:
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned nodes (existing nodes stay valid, just unshared)."""
+    _INTERN_TABLE.clear()
+
+
+class _InternMeta(type):
+    """Routes node construction through the per-process intern table.
+
+    Each concrete node class contributes a ``_intern_key`` classmethod
+    returning ``(key, canonical_args)`` for valid inputs and ``None`` (or
+    raising) for inputs it cannot canonicalize — those fall through to the
+    plain constructor so error behavior is unchanged.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        if not _INTERN_ENABLED[0]:
+            return super().__call__(*args, **kwargs)
+        try:
+            prepared = cls._intern_key(*args, **kwargs)
+        except Exception:
+            prepared = None
+        if prepared is None:
+            return super().__call__(*args, **kwargs)
+        key, call_args = prepared
+        node = _INTERN_TABLE.get(key)
+        if node is not None:
+            _INTERN_STATS["hits"] += 1
+            return node
+        node = super().__call__(*call_args)
+        _INTERN_STATS["misses"] += 1
+        if len(_INTERN_TABLE) >= _INTERN_LIMIT:
+            _INTERN_TABLE.clear()
+        _INTERN_TABLE[key] = node
+        return node
+
+
+class Expr(metaclass=_InternMeta):
     """Base class of all arithmetic expression nodes.
 
     Subclasses implement :meth:`evaluate`, :meth:`diff`, :meth:`children` and
     the printing hooks.  Instances are immutable and hashable so they can be
     shared freely between circuit gates and constraint systems.
+
+    The trailing underscore slots memoize derived per-node properties
+    (structural hash, free variables, size, linear form, simplified form,
+    content digest).  They are write-once caches set via
+    ``object.__setattr__`` — never part of equality, printing, or pickles.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_vars", "_size", "_linform", "_simplified", "_digest")
+
+    @classmethod
+    def _intern_key(cls, *args, **kwargs):
+        return None
 
     # -- pickling -------------------------------------------------------
-    # Subclasses forbid attribute assignment (immutability), which breaks
-    # the default slot-state restore; route it through object.__setattr__
-    # so expressions can cross process boundaries (parallel solving).
-    def __getstate__(self):
-        return {
-            slot: getattr(self, slot)
-            for cls in type(self).__mro__
-            for slot in getattr(cls, "__slots__", ())
-        }
+    # Reconstruct through the (interning) constructor so a round-trip
+    # re-establishes node sharing in the receiving process and the pickle
+    # memo serializes each distinct subterm once.  Cached hashes must not
+    # cross processes (string hashing is per-process salted) — reducing to
+    # constructor args drops all memo slots for free.
+    def __reduce__(self):
+        return (type(self), self._reduce_args())
 
-    def __setstate__(self, state):
-        for name, value in state.items():
-            object.__setattr__(self, name, value)
+    def _reduce_args(self) -> tuple:
+        raise NotImplementedError
 
     # -- construction via operators ------------------------------------
     def __add__(self, other: Union["Expr", Number]) -> "Expr":
@@ -172,33 +287,88 @@ class Expr:
         raise NotImplementedError
 
     def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
-        """Replace variables by expressions (simultaneous substitution)."""
+        """Replace variables by expressions (simultaneous substitution).
+
+        DAG-aware: shared subterms are rewritten once per distinct node and
+        untouched subtrees are returned as-is instead of being rebuilt.
+        """
+        memo: Dict[int, Expr] = {}
+
+        def rebuild(node: "Expr") -> "Expr":
+            cached = memo.get(id(node))
+            if cached is None:
+                cached = node._substituted(mapping, rebuild)
+                memo[id(node)] = cached
+            return cached
+
+        return rebuild(self)
+
+    def _substituted(
+        self, mapping: Mapping[str, "Expr"], rebuild: Callable[["Expr"], "Expr"]
+    ) -> "Expr":
+        raise NotImplementedError
+
+    # -- cached structural hash ------------------------------------------
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = self._structural_hash()
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def _structural_hash(self) -> int:
         raise NotImplementedError
 
     # -- derived operations ----------------------------------------------
-    def variables(self) -> "set[str]":
-        """The set of free variable names in the expression."""
-        result: set[str] = set()
-        stack: List[Expr] = [self]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, Var):
-                result.add(node.name)
-            else:
-                stack.extend(node.children())
-        return result
+    def variables(self) -> "frozenset[str]":
+        """The set of free variable names in the expression (memoized)."""
+        cached = getattr(self, "_vars", None)
+        if cached is None:
+            names: set = set()
+            seen: set = set()
+            stack: List[Expr] = [self]
+            while stack:
+                node = stack.pop()
+                node_id = id(node)
+                if node_id in seen:
+                    continue
+                seen.add(node_id)
+                sub = getattr(node, "_vars", None)
+                if sub is not None:
+                    names |= sub
+                elif isinstance(node, Var):
+                    names.add(node.name)
+                else:
+                    stack.extend(node.children())
+            cached = frozenset(names)
+            object.__setattr__(self, "_vars", cached)
+        return cached
 
     def walk(self) -> Iterator["Expr"]:
-        """Pre-order traversal over all nodes."""
+        """Pre-order traversal yielding each distinct node once.
+
+        Shared subterms (DAG edges under hash-consing) are visited a single
+        time, so traversal is linear in the number of distinct nodes rather
+        than the unfolded tree size.
+        """
+        seen: set = set()
         stack: List[Expr] = [self]
         while stack:
             node = stack.pop()
+            node_id = id(node)
+            if node_id in seen:
+                continue
+            seen.add(node_id)
             yield node
             stack.extend(reversed(node.children()))
 
     def size(self) -> int:
-        """Number of AST nodes; a rough complexity measure used in stats."""
-        return sum(1 for _ in self.walk())
+        """Number of distinct AST nodes; a rough complexity measure."""
+        cached = getattr(self, "_size", None)
+        if cached is None:
+            cached = sum(1 for _ in self.walk())
+            object.__setattr__(self, "_size", cached)
+        return cached
 
     def is_linear(self) -> bool:
         """True when the expression is an affine function of its variables."""
@@ -209,12 +379,52 @@ class Expr:
             return False
 
     def linear_form(self) -> "LinearForm":
-        """Extract coefficients; raises if the expression is not affine."""
-        return _linear_form(self)
+        """Extract coefficients; raises if the expression is not affine.
+
+        Both outcomes are memoized: repeated extraction over shared
+        subterms — the common case after translation caching — is O(1).
+        Callers must not mutate the returned form's ``coeffs``.
+        """
+        cached = getattr(self, "_linform", None)
+        if cached is None:
+            try:
+                cached = _linear_form(self)
+            except NonlinearExpressionError as error:
+                object.__setattr__(self, "_linform", ("nonlinear", str(error)))
+                raise
+            object.__setattr__(self, "_linform", cached)
+        elif isinstance(cached, tuple):
+            raise NonlinearExpressionError(cached[1])
+        return cached
 
     def simplify(self) -> "Expr":
-        """Constant folding and identity elimination (single bottom-up pass)."""
-        return _simplify(self)
+        """Constant folding and identity elimination (memoized fixpoint)."""
+        cached = getattr(self, "_simplified", None)
+        if cached is None:
+            cached = _simplify(self)
+            object.__setattr__(self, "_simplified", cached)
+            if cached is not self:
+                object.__setattr__(cached, "_simplified", cached)
+        return cached
+
+    # -- canonical content digest ----------------------------------------
+    def fingerprint(self) -> str:
+        """Canonical content hash (hex), stable across processes.
+
+        Unlike ``hash()`` (per-process salted), the fingerprint is a
+        content digest: constants are folded first (via ``simplify``),
+        ``+``/``*`` chains are flattened and digest-sorted so argument
+        order does not matter, and ``Sub``/``Neg`` are normalized into
+        signed additive terms so e.g. ``x - y`` and ``-(y - x)`` agree.
+        """
+        return self.simplify()._digest_bytes().hex()
+
+    def _digest_bytes(self) -> bytes:
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            cached = _node_digest(self)
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     # printing ------------------------------------------------------------
     def _precedence(self) -> int:
@@ -240,6 +450,18 @@ class Const(Expr):
             raise TypeError(f"Const requires a number, got {value!r}")
         object.__setattr__(self, "value", value)
 
+    @classmethod
+    def _intern_key(cls, value):
+        # The literal type is part of the key: Const(1) and Const(1.0)
+        # compare equal but print differently, so they stay distinct
+        # objects with their original ``value`` type.
+        if isinstance(value, bool) or not isinstance(value, (int, float, Fraction)):
+            return None
+        return ("Const", type(value).__name__, value), (value,)
+
+    def _reduce_args(self) -> tuple:
+        return (self.value,)
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Const is immutable")
 
@@ -252,7 +474,7 @@ class Const(Expr):
     def diff(self, var: str) -> Expr:
         return Const(0)
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+    def _substituted(self, mapping, rebuild) -> Expr:
         return self
 
     def _precedence(self) -> int:
@@ -269,10 +491,14 @@ class Const(Expr):
         return str(value)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Const) and float(other.value) == float(self.value)
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("Const", float(self.value)))
+
+    __hash__ = Expr.__hash__
 
 
 class Var(Expr):
@@ -284,6 +510,15 @@ class Var(Expr):
         if not name or not isinstance(name, str):
             raise TypeError("variable name must be a non-empty string")
         object.__setattr__(self, "name", name)
+
+    @classmethod
+    def _intern_key(cls, name):
+        if not name or not isinstance(name, str):
+            return None
+        return ("Var", name), (name,)
+
+    def _reduce_args(self) -> tuple:
+        return (self.name,)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Var is immutable")
@@ -300,7 +535,7 @@ class Var(Expr):
     def diff(self, var: str) -> Expr:
         return Const(1 if var == self.name else 0)
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+    def _substituted(self, mapping, rebuild) -> Expr:
         return mapping.get(self.name, self)
 
     def _precedence(self) -> int:
@@ -310,10 +545,14 @@ class Var(Expr):
         return self.name
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Var) and other.name == self.name
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("Var", self.name))
+
+    __hash__ = Expr.__hash__
 
 
 class _Binary(Expr):
@@ -325,14 +564,27 @@ class _Binary(Expr):
         object.__setattr__(self, "lhs", _coerce(lhs))
         object.__setattr__(self, "rhs", _coerce(rhs))
 
+    @classmethod
+    def _intern_key(cls, lhs, rhs):
+        lhs = _coerce(lhs)
+        rhs = _coerce(rhs)
+        return (cls.__name__, lhs, rhs), (lhs, rhs)
+
+    def _reduce_args(self) -> tuple:
+        return (self.lhs, self.rhs)
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.lhs, self.rhs)
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
-        return type(self)(self.lhs.substitute(mapping), self.rhs.substitute(mapping))
+    def _substituted(self, mapping, rebuild) -> Expr:
+        lhs = rebuild(self.lhs)
+        rhs = rebuild(self.rhs)
+        if lhs is self.lhs and rhs is self.rhs:
+            return self
+        return type(self)(lhs, rhs)
 
     def _precedence(self) -> int:
         return self._prec
@@ -349,14 +601,18 @@ class _Binary(Expr):
         return f"{left} {self._symbol} {right}"
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             type(other) is type(self)
             and other.lhs == self.lhs  # type: ignore[attr-defined]
             and other.rhs == self.rhs  # type: ignore[attr-defined]
         )
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash((type(self).__name__, self.lhs, self.rhs))
+
+    __hash__ = Expr.__hash__
 
 
 class Add(_Binary):
@@ -428,6 +684,14 @@ class Neg(Expr):
     def __init__(self, arg: Union[Expr, Number]):
         object.__setattr__(self, "arg", _coerce(arg))
 
+    @classmethod
+    def _intern_key(cls, arg):
+        arg = _coerce(arg)
+        return ("Neg", arg), (arg,)
+
+    def _reduce_args(self) -> tuple:
+        return (self.arg,)
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Neg is immutable")
 
@@ -440,8 +704,11 @@ class Neg(Expr):
     def diff(self, var: str) -> Expr:
         return Neg(self.arg.diff(var))
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
-        return Neg(self.arg.substitute(mapping))
+    def _substituted(self, mapping, rebuild) -> Expr:
+        arg = rebuild(self.arg)
+        if arg is self.arg:
+            return self
+        return Neg(arg)
 
     def _precedence(self) -> int:
         return 30
@@ -453,10 +720,14 @@ class Neg(Expr):
         return f"-{inner}"
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Neg) and other.arg == self.arg
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("Neg", self.arg))
+
+    __hash__ = Expr.__hash__
 
 
 class Pow(Expr):
@@ -475,6 +746,16 @@ class Pow(Expr):
         object.__setattr__(self, "base", _coerce(base))
         object.__setattr__(self, "exponent", exponent)
 
+    @classmethod
+    def _intern_key(cls, base, exponent):
+        if not isinstance(exponent, int) or exponent < 0:
+            return None
+        base = _coerce(base)
+        return ("Pow", base, exponent), (base, exponent)
+
+    def _reduce_args(self) -> tuple:
+        return (self.base, self.exponent)
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Pow is immutable")
 
@@ -489,8 +770,11 @@ class Pow(Expr):
             return Const(0)
         return Mul(Mul(Const(self.exponent), Pow(self.base, self.exponent - 1)), self.base.diff(var))
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
-        return Pow(self.base.substitute(mapping), self.exponent)
+    def _substituted(self, mapping, rebuild) -> Expr:
+        base = rebuild(self.base)
+        if base is self.base:
+            return self
+        return Pow(base, self.exponent)
 
     def _precedence(self) -> int:
         return 40
@@ -502,10 +786,14 @@ class Pow(Expr):
         return f"{inner}^{self.exponent}"
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Pow) and other.base == self.base and other.exponent == self.exponent
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("Pow", self.base, self.exponent))
+
+    __hash__ = Expr.__hash__
 
 
 #: Symbolic derivatives for the functions in :data:`FUNCTION_TABLE`.
@@ -531,6 +819,16 @@ class Call(Expr):
         object.__setattr__(self, "function", function)
         object.__setattr__(self, "arg", _coerce(arg))
 
+    @classmethod
+    def _intern_key(cls, function, arg):
+        if function not in FUNCTION_TABLE:
+            return None
+        arg = _coerce(arg)
+        return ("Call", function, arg), (function, arg)
+
+    def _reduce_args(self) -> tuple:
+        return (self.function, self.arg)
+
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Call is immutable")
 
@@ -550,8 +848,11 @@ class Call(Expr):
         outer = _DERIVATIVES[self.function](self.arg)
         return Mul(outer, self.arg.diff(var))
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> Expr:
-        return Call(self.function, self.arg.substitute(mapping))
+    def _substituted(self, mapping, rebuild) -> Expr:
+        arg = rebuild(self.arg)
+        if arg is self.arg:
+            return self
+        return Call(self.function, arg)
 
     def _precedence(self) -> int:
         return 100
@@ -560,10 +861,102 @@ class Call(Expr):
         return f"{self.function}({self.arg._to_str()})"
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Call) and other.function == self.function and other.arg == self.arg
 
-    def __hash__(self) -> int:
+    def _structural_hash(self) -> int:
         return hash(("Call", self.function, self.arg))
+
+    __hash__ = Expr.__hash__
+
+
+# ----------------------------------------------------------------------
+# Canonical content digests
+# ----------------------------------------------------------------------
+# ``fingerprint()`` must be stable across processes (unlike ``hash()``,
+# which is salted) and across the argument orderings of commutative
+# operators.  Nodes digest as a *signed sum of terms*: Add/Sub/Neg chains
+# are flattened into ``(sign, atom-digest)`` terms which are sorted, so
+# ``x - y`` == ``-(y - x)`` and ``a + b`` == ``b + a``.  Mul chains are
+# flattened with Neg-parity extraction and factor digests sorted.
+def _blake(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+def _const_token(value: Number) -> bytes:
+    # Matches Const.__eq__/__hash__ semantics (float comparison);
+    # ``+ 0.0`` collapses -0.0 onto 0.0.
+    try:
+        return repr(float(value) + 0.0).encode()
+    except OverflowError:
+        if isinstance(value, Fraction):
+            return f"{value.numerator}/{value.denominator}".encode()
+        return repr(value).encode()
+
+
+def _flatten_product(node: Expr, factors: List[Expr]) -> bool:
+    """Collect Mul-chain factors; returns the Neg-parity of the chain."""
+    negated = False
+    stack: List[Expr] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, Mul):
+            stack.append(item.lhs)
+            stack.append(item.rhs)
+        elif isinstance(item, Neg):
+            negated = not negated
+            stack.append(item.arg)
+        else:
+            factors.append(item)
+    return negated
+
+
+def _sum_terms(root: Expr) -> List[bytes]:
+    terms: List[bytes] = []
+    stack: List[Tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, negated = stack.pop()
+        if isinstance(node, Add):
+            stack.append((node.rhs, negated))
+            stack.append((node.lhs, negated))
+        elif isinstance(node, Sub):
+            stack.append((node.rhs, not negated))
+            stack.append((node.lhs, negated))
+        elif isinstance(node, Neg):
+            stack.append((node.arg, not negated))
+        elif isinstance(node, Const):
+            value = -node.value if negated else node.value
+            terms.append(b"+C" + _const_token(value))
+        elif isinstance(node, Mul):
+            factors: List[Expr] = []
+            flip = _flatten_product(node, factors)
+            digests = sorted(factor._digest_bytes() for factor in factors)
+            sign = b"-" if (negated ^ flip) else b"+"
+            terms.append(sign + _blake(b"P" + b"".join(digests)))
+        else:
+            terms.append((b"-" if negated else b"+") + _atom_digest(node))
+    return terms
+
+
+def _atom_digest(node: Expr) -> bytes:
+    if isinstance(node, Var):
+        return _blake(b"V" + node.name.encode())
+    if isinstance(node, Div):
+        return _blake(b"/" + node.lhs._digest_bytes() + node.rhs._digest_bytes())
+    if isinstance(node, Pow):
+        return _blake(b"^" + str(node.exponent).encode() + b":" + node.base._digest_bytes())
+    if isinstance(node, Call):
+        return _blake(b"F" + node.function.encode() + b":" + node.arg._digest_bytes())
+    raise TypeError(f"unknown expression node {type(node).__name__}")
+
+
+def _node_digest(node: Expr) -> bytes:
+    terms = _sum_terms(node)
+    if len(terms) == 1 and terms[0][:1] == b"+":
+        return _blake(b"T" + terms[0][1:])
+    terms.sort()
+    return _blake(b"S" + b"".join(terms))
 
 
 # ----------------------------------------------------------------------
@@ -623,32 +1016,34 @@ def _to_fraction(value: Number) -> Fraction:
 
 
 def _linear_form(expr: Expr) -> LinearForm:
+    # Recursion goes through the memoized ``linear_form`` accessor so
+    # shared subterms are analyzed once per process, not once per caller.
     if isinstance(expr, Const):
         return LinearForm({}, _to_fraction(expr.value))
     if isinstance(expr, Var):
         return LinearForm({expr.name: Fraction(1)}, Fraction(0))
     if isinstance(expr, Neg):
-        return _linear_form(expr.arg).scaled(Fraction(-1))
+        return expr.arg.linear_form().scaled(Fraction(-1))
     if isinstance(expr, Add):
-        return _linear_form(expr.lhs).plus(_linear_form(expr.rhs))
+        return expr.lhs.linear_form().plus(expr.rhs.linear_form())
     if isinstance(expr, Sub):
-        return _linear_form(expr.lhs).plus(_linear_form(expr.rhs).scaled(Fraction(-1)))
+        return expr.lhs.linear_form().plus(expr.rhs.linear_form().scaled(Fraction(-1)))
     if isinstance(expr, Mul):
-        left, right = _linear_form(expr.lhs), _linear_form(expr.rhs)
+        left, right = expr.lhs.linear_form(), expr.rhs.linear_form()
         if not left.coeffs:
             return right.scaled(left.constant)
         if not right.coeffs:
             return left.scaled(right.constant)
         raise NonlinearExpressionError(f"product of variables in {expr}")
     if isinstance(expr, Div):
-        right = _linear_form(expr.rhs)
+        right = expr.rhs.linear_form()
         if right.coeffs:
             raise NonlinearExpressionError(f"variable denominator in {expr}")
         if right.constant == 0:
             raise NonlinearExpressionError(f"constant zero denominator in {expr}")
-        return _linear_form(expr.lhs).scaled(Fraction(1) / right.constant)
+        return expr.lhs.linear_form().scaled(Fraction(1) / right.constant)
     if isinstance(expr, Pow):
-        base = _linear_form(expr.base)
+        base = expr.base.linear_form()
         if base.coeffs and expr.exponent > 1:
             raise NonlinearExpressionError(f"power of a variable in {expr}")
         if expr.exponent == 0:
@@ -657,7 +1052,7 @@ def _linear_form(expr: Expr) -> LinearForm:
             return base
         return LinearForm({}, base.constant**expr.exponent)
     if isinstance(expr, Call):
-        arg = _linear_form(expr.arg)
+        arg = expr.arg.linear_form()
         if arg.coeffs:
             raise NonlinearExpressionError(f"transcendental function of a variable in {expr}")
         value = FUNCTION_TABLE[expr.function](float(arg.constant))
@@ -669,17 +1064,19 @@ def _linear_form(expr: Expr) -> LinearForm:
 # Simplification
 # ----------------------------------------------------------------------
 def _simplify(expr: Expr) -> Expr:
+    # Recursion goes through the memoized ``simplify`` accessor: shared
+    # subterms simplify once and the rewritten DAG keeps its sharing.
     if isinstance(expr, (Const, Var)):
         return expr
     if isinstance(expr, Neg):
-        arg = _simplify(expr.arg)
+        arg = expr.arg.simplify()
         if isinstance(arg, Const):
             return Const(-arg.value)
         if isinstance(arg, Neg):
             return arg.arg
         return Neg(arg)
     if isinstance(expr, Pow):
-        base = _simplify(expr.base)
+        base = expr.base.simplify()
         if expr.exponent == 0:
             return Const(1)
         if expr.exponent == 1:
@@ -688,7 +1085,7 @@ def _simplify(expr: Expr) -> Expr:
             return Const(base.value**expr.exponent)
         return Pow(base, expr.exponent)
     if isinstance(expr, Call):
-        arg = _simplify(expr.arg)
+        arg = expr.arg.simplify()
         if isinstance(arg, Const):
             try:
                 return Const(FUNCTION_TABLE[expr.function](float(arg.value)))
@@ -696,7 +1093,7 @@ def _simplify(expr: Expr) -> Expr:
                 return Call(expr.function, arg)
         return Call(expr.function, arg)
     if isinstance(expr, _Binary):
-        lhs, rhs = _simplify(expr.lhs), _simplify(expr.rhs)
+        lhs, rhs = expr.lhs.simplify(), expr.rhs.simplify()
         if isinstance(lhs, Const) and isinstance(rhs, Const):
             try:
                 folded = type(expr)(lhs, rhs).evaluate({})
@@ -779,29 +1176,85 @@ class Constraint:
     The negation of an equality is the disjunction ``lhs < rhs  or  lhs > rhs``
     (paper, Sec. 1); :meth:`negated_alternatives` returns that case split so
     the control loop can enumerate it.
+
+    Like :class:`Expr`, instances are treated as immutable and memoize their
+    derived properties (hash, variables, normalized expression, linear form,
+    canonical fingerprint) in write-once cache slots.
     """
 
-    __slots__ = ("lhs", "relation", "rhs")
+    __slots__ = ("lhs", "relation", "rhs", "_hash", "_vars", "_norm", "_lform", "_digest")
 
     def __init__(self, lhs: Union[Expr, Number], relation: Relation, rhs: Union[Expr, Number]):
         self.lhs = _coerce(lhs)
         self.relation = relation
         self.rhs = _coerce(rhs)
 
+    def __reduce__(self):
+        # Rebuild through the constructor: cache slots stay process-local
+        # and the operand Exprs re-intern in the receiving process.
+        return (Constraint, (self.lhs, self.relation, self.rhs))
+
     # -- analysis ---------------------------------------------------------
-    def variables(self) -> "set[str]":
-        return self.lhs.variables() | self.rhs.variables()
+    def variables(self) -> "frozenset[str]":
+        cached = getattr(self, "_vars", None)
+        if cached is None:
+            cached = self.lhs.variables() | self.rhs.variables()
+            self._vars = cached
+        return cached
 
     def is_linear(self) -> bool:
-        return self.lhs.is_linear() and self.rhs.is_linear()
+        try:
+            self.linear_form()
+            return True
+        except NonlinearExpressionError:
+            return False
 
     def normalized_expr(self) -> Expr:
         """The difference ``lhs - rhs``, so the constraint reads ``expr REL 0``."""
-        return Sub(self.lhs, self.rhs).simplify()
+        cached = getattr(self, "_norm", None)
+        if cached is None:
+            cached = Sub(self.lhs, self.rhs).simplify()
+            self._norm = cached
+        return cached
 
     def linear_form(self) -> LinearForm:
         """Linear form of ``lhs - rhs`` (raises for nonlinear constraints)."""
-        return self.normalized_expr().linear_form()
+        cached = getattr(self, "_lform", None)
+        if cached is None:
+            try:
+                cached = self.normalized_expr().linear_form()
+            except NonlinearExpressionError as error:
+                self._lform = ("nonlinear", str(error))
+                raise
+            self._lform = cached
+        elif isinstance(cached, tuple):
+            raise NonlinearExpressionError(cached[1])
+        return cached
+
+    def fingerprint(self) -> str:
+        """Canonical content hash (hex): orientation-independent and stable.
+
+        Constraints are normalized to ``expr REL 0`` with ``>``/``>=``
+        rewritten to ``<``/``<=`` by negating the expression, so
+        ``a < b``, ``b > a`` and ``a - b < 0`` share one fingerprint;
+        equalities digest both orientations and sort them.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            expr = self.normalized_expr()
+            relation = self.relation
+            if relation in (Relation.GT, Relation.GE):
+                digest = Neg(expr)._digest_bytes()
+                relation = Relation.LT if relation is Relation.GT else Relation.LE
+                payload = b"R" + relation.value.encode() + digest
+            elif relation is Relation.EQ:
+                pair = sorted((expr._digest_bytes(), Neg(expr)._digest_bytes()))
+                payload = b"R=" + pair[0] + pair[1]
+            else:
+                payload = b"R" + relation.value.encode() + expr._digest_bytes()
+            cached = _blake(payload).hex()
+            self._digest = cached
+        return cached
 
     def negated_alternatives(self) -> List["Constraint"]:
         """Constraints whose disjunction is the negation of this constraint."""
@@ -832,6 +1285,8 @@ class Constraint:
         return f"Constraint({self!s})"
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Constraint)
             and other.lhs == self.lhs
@@ -840,7 +1295,11 @@ class Constraint:
         )
 
     def __hash__(self) -> int:
-        return hash((self.lhs, self.relation, self.rhs))
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = hash((self.lhs, self.relation, self.rhs))
+            self._hash = cached
+        return cached
 
 
 # ----------------------------------------------------------------------

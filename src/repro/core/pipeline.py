@@ -260,20 +260,27 @@ class TheoryTranslationStage(SolverStage):
 
     Two cache layers:
 
-    * definition-literal -> :class:`LinearConstraint` (the expensive
-      ``linear_form`` normalization) plus the negation-alternative lists;
+    * ``(tag, constraint fingerprint)`` -> :class:`LinearConstraint` (the
+      expensive ``linear_form`` normalization) plus the
+      negation-alternative lists.  Rows are content-addressed via
+      :meth:`Constraint.fingerprint`, so they survive definition
+      retraction/redefinition: a re-pushed definition with the same
+      content hits immediately, while changed content simply keys a new
+      entry;
     * full branch key -> built :class:`LinearSystem` (rows, bound rows,
       domains) ready to hand to the linear stage.
 
     Both survive across queries of a session; ``reset`` clears everything,
-    :meth:`invalidate_definitions` surgically drops entries for retracted
-    definitions, and any definition/bounds change clears the branch layer
-    (domains or bound rows may have shifted under it).
+    :meth:`invalidate_definitions` drops the per-variable alternative
+    lists of retracted definitions, and any definition/bounds change
+    clears the branch layer (domains or bound rows may have shifted under
+    it).
     """
 
     name = "translate"
 
     BRANCH_CACHE_LIMIT = 8192
+    ROW_CACHE_LIMIT = 8192
 
     def __init__(self, pipeline: "SolvePipeline"):
         self._pipeline = pipeline
@@ -327,11 +334,14 @@ class TheoryTranslationStage(SolverStage):
         nonlinear: List[Tuple[Constraint, int]] = []
         for item in branch:
             if item.constraint.is_linear():
-                row = self._rows.get(item.key)
+                row_key = (item.tag, item.constraint.fingerprint())
+                row = self._rows.get(row_key)
                 if row is None:
                     stats.translation_cache_misses += 1
                     row = LinearConstraint.from_constraint(item.constraint, tag=item.tag)
-                    self._rows[item.key] = row
+                    if len(self._rows) >= self.ROW_CACHE_LIMIT:
+                        self._rows.clear()
+                    self._rows[row_key] = row
                 else:
                     stats.translation_cache_hits += 1
                 linear_rows.append(row)
@@ -376,14 +386,14 @@ class TheoryTranslationStage(SolverStage):
 
     # -- invalidation ---------------------------------------------------
     def invalidate_definitions(self, variables: Sequence[int]) -> None:
-        """Drop cached translations of retracted (popped) definitions."""
+        """Drop per-variable caches of retracted (popped) definitions.
+
+        Translated rows are content-addressed (tag + constraint
+        fingerprint) and stay valid across retraction — a redefinition
+        with different content keys a fresh entry on its own.
+        """
         for var in variables:
             self._alternatives.pop(var, None)
-            self._rows.pop(var, None)
-            self._rows.pop(-var, None)
-            stale = [key for key in self._rows if isinstance(key, tuple) and key[0] == -var]
-            for key in stale:
-                del self._rows[key]
         self._branches.clear()
 
     def definitions_changed(self) -> None:
@@ -597,8 +607,10 @@ class ConflictRefinementStage(SolverStage):
 class _BlockingTemplate:
     """One cached definite blocking clause plus the context it relies on.
 
-    ``content`` snapshots the ``(var, domain, constraint)`` triple of every
-    definition the clause mentions; ``bounds_key`` / ``domains_key``
+    ``content`` snapshots the ``(var, domain, constraint fingerprint)``
+    triple of every definition the clause mentions (canonical content
+    digests — see :meth:`Constraint.fingerprint`); ``bounds_key`` /
+    ``domains_key``
     fingerprint the global bound rows and variable typings (untagged bound
     rows participate in Farkas cores, and integer typings steer
     branch-and-bound, so both are part of the derivation).  A template is
@@ -657,6 +669,9 @@ class SolvePipeline:
         legacy_trace = getattr(config, "trace", None)
         if legacy_trace is not None:
             self.bus.subscribe(LegacyTraceSink(legacy_trace))
+        #: Optional :class:`repro.core.verdict_cache.VerdictCache` consulted
+        #: by :meth:`run_query` before stage 0 and populated on completion.
+        self.verdict_cache = getattr(config, "verdict_cache", None)
 
         boolean_options = dict(config.boolean_options)
         # A config-level seed reaches CDCL-family solvers as reproducible
@@ -807,13 +822,20 @@ class SolvePipeline:
     def _template_content(
         self, problem: ABProblem, clause: Sequence[int]
     ) -> Optional[Tuple]:
-        """Snapshot the definitions a clause mentions (None = not templatable)."""
+        """Snapshot the definitions a clause mentions (None = not templatable).
+
+        Constraints enter as canonical fingerprints (memoized per
+        :class:`Constraint`), so revalidation on a template match is a
+        string comparison instead of a deep structural equality.
+        """
         content = []
         for literal in clause:
             definition = problem.definitions.get(abs(literal))
             if definition is None:
                 return None
-            content.append((abs(literal), definition.domain, definition.constraint))
+            content.append(
+                (abs(literal), definition.domain, definition.constraint.fingerprint())
+            )
         return tuple(content)
 
     def register_blocking_template(
@@ -885,6 +907,7 @@ class SolvePipeline:
         on_lemma: Optional[LemmaHook] = None,
         prior_incomplete: bool = False,
         poll: Optional[Callable[[], bool]] = None,
+        cache_assumptions: Optional[Sequence[int]] = None,
     ):
         """One full solve over the current problem; returns an ``ABResult``.
 
@@ -899,10 +922,127 @@ class SolvePipeline:
         workers use it both as their cancellation check and as the point
         where foreign lemmas received from other workers are injected.
 
+        When the config carries a :class:`VerdictCache`, the cache is
+        consulted before stage 0 — keyed on the canonical problem
+        fingerprint plus ``cache_assumptions`` (the user-level literals of
+        the query; sessions pass them explicitly so their activation
+        literals stay out of the key).  Cached UNSAT verdicts return
+        immediately; cached SAT witnesses are revalidated against the live
+        problem first, and on a failed revalidation the entry's definite
+        lemmas still seed the blocking-template store.  Completed SAT/UNSAT
+        runs are written back; certificate runs bypass the cache entirely
+        so the recorded lemma stream stays self-contained.
+
         Progress is published as typed events on :attr:`bus` (including the
         bridged legacy ``config.trace`` callback); nothing is built when no
         sink is attached.
         """
+        from .expr import intern_counters
+
+        stats = self.stats
+        intern_before = intern_counters()["hits"]
+        cache = self.verdict_cache
+        key = None
+        lemma_sink: Optional[List[List[int]]] = None
+        try:
+            if cache is not None and not record_certificate:
+                if cache_assumptions is None:
+                    cache_assumptions = tuple(assumptions)
+                key = cache.key(problem, cache_assumptions, self.config.tolerance)
+                entry = cache.lookup(key)
+                if entry is not None:
+                    replay = self._replay_cached_verdict(
+                        problem, entry, cache_assumptions
+                    )
+                    if replay is not None:
+                        stats.verdict_cache_hits += 1
+                        return replay
+                stats.verdict_cache_misses += 1
+                lemma_sink = []
+            result = self._run_query_inner(
+                problem,
+                assumptions,
+                record_certificate,
+                on_lemma,
+                prior_incomplete,
+                poll,
+                lemma_sink,
+            )
+            if key is not None:
+                self._store_verdict(cache, key, problem, result, lemma_sink)
+            return result
+        finally:
+            stats.intern_hits += intern_counters()["hits"] - intern_before
+
+    #: Cap on definite lemmas carried into one verdict-cache entry.
+    VERDICT_CACHE_LEMMA_LIMIT = 512
+
+    def _replay_cached_verdict(self, problem, entry, assumptions):
+        """Turn a cache entry into a result, or None when it cannot be trusted.
+
+        UNSAT entries are definitive (only complete runs store them, and a
+        key match means the same query semantics).  SAT entries must agree
+        with the requested assumptions and pass the live
+        :meth:`ABProblem.check_model` at the current tolerance; failing
+        that, the entry's definite lemmas are imported as blocking
+        templates and ``None`` falls the query through to a normal solve.
+        """
+        from .solver import ABModel, ABResult, ABStatus
+
+        stats = self.stats
+        bus = self.bus
+        if entry.status == "unsat":
+            if bus.active:
+                bus.publish(VerdictReached(status="unsat", iterations=0))
+            return ABResult(ABStatus.UNSAT, stats=stats, reason="verdict-cache")
+        boolean = dict(entry.boolean)
+        theory = dict(entry.theory)
+        assumptions_ok = all(
+            boolean.get(abs(literal), False) is (literal > 0)
+            for literal in assumptions
+        )
+        if assumptions_ok and problem.check_model(
+            boolean, theory, tolerance=self.config.tolerance
+        ):
+            if bus.active:
+                bus.publish(VerdictReached(status="sat", iterations=0))
+            return ABResult(ABStatus.SAT, model=ABModel(boolean, theory), stats=stats)
+        for clause in entry.lemmas:
+            self.register_blocking_template(problem, list(clause))
+        return None
+
+    def _store_verdict(self, cache, key, problem, result, lemma_sink) -> None:
+        from .solver import ABStatus
+
+        lemmas = lemma_sink or ()
+        if result.status is ABStatus.SAT and result.model is not None:
+            # Keep only problem-level Boolean variables: a session's model
+            # may mention its activation literals, which are process-local
+            # and meaningless to other consumers of the entry.
+            num_vars = problem.cnf.num_vars
+            boolean = {
+                var: value
+                for var, value in result.model.boolean.items()
+                if var <= num_vars
+            }
+            cache.store(key, "sat", boolean, result.model.theory, lemmas)
+        elif result.status is ABStatus.UNSAT:
+            cache.store(key, "unsat", lemmas=lemmas)
+        else:
+            return
+        self.stats.verdict_cache_stores += 1
+
+    def _run_query_inner(
+        self,
+        problem: ABProblem,
+        assumptions: Sequence[int] = (),
+        record_certificate: bool = False,
+        on_lemma: Optional[LemmaHook] = None,
+        prior_incomplete: bool = False,
+        poll: Optional[Callable[[], bool]] = None,
+        lemma_sink: Optional[List[List[int]]] = None,
+    ):
+        """The control loop proper (stages 0-5); see :meth:`run_query`."""
         from .solver import ABModel, ABResult, ABStatus
 
         config = self.config
@@ -1010,6 +1150,11 @@ class SolvePipeline:
                 # this candidate out: re-block it without running stages 2-5.
                 stats.blocking_template_hits += 1
                 stats.blocking_clauses += 1
+                if (
+                    lemma_sink is not None
+                    and len(lemma_sink) < self.VERDICT_CACHE_LEMMA_LIMIT
+                ):
+                    lemma_sink.append(list(template))
                 if bus.active:
                     bus.publish(
                         BlockingClauseAdded(
@@ -1050,6 +1195,11 @@ class SolvePipeline:
             blocking = verdict.blocking or self.fallback_blocking_clause(problem, alpha)
             if verdict.definite:
                 self.register_blocking_template(problem, blocking)
+                if (
+                    lemma_sink is not None
+                    and len(lemma_sink) < self.VERDICT_CACHE_LEMMA_LIMIT
+                ):
+                    lemma_sink.append(list(blocking))
             stats.blocking_clauses += 1
             if bus.active:
                 bus.publish(

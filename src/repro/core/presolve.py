@@ -127,7 +127,7 @@ class BoundStore:
         #: repeated queries against an unchanged store do not re-emit.
         self.emitted = False
         self._rows_cache: Optional[List[LinearConstraint]] = None
-        self._fingerprint_cache: Optional[Tuple] = None
+        self._fingerprint_cache: Optional[str] = None
 
     # -- mutation (presolve stage only) ---------------------------------
     def _entry(self, var: str) -> _Bounds:
@@ -241,17 +241,27 @@ class BoundStore:
             for var, entry in self._bounds.items()
         }
 
-    def fingerprint(self) -> Tuple:
-        """Canonical key for template/bound-row cache validity."""
+    def fingerprint(self) -> str:
+        """Canonical key for template/bound-row cache validity.
+
+        A stable content digest (like ``Expr.fingerprint``): bounds are
+        emitted in sorted variable order with exact Fraction reprs, so the
+        key is identical across processes and independent of deduction
+        order.  Consumers only ever compare it for equality.
+        """
         if self._fingerprint_cache is None:
-            self._fingerprint_cache = (
-                frozenset(
-                    (var,) + bounds
-                    for var, bounds in self.snapshot().items()
-                ),
-                tuple(sorted(self.units)),
-                self.infeasible,
-            )
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            snapshot = self.snapshot()
+            for var in sorted(snapshot):
+                lower, lower_strict, upper, upper_strict = snapshot[var]
+                digest.update(
+                    f"{var}:{lower!r}:{lower_strict}:{upper!r}:{upper_strict};".encode()
+                )
+            digest.update(("u" + ",".join(map(str, sorted(self.units)))).encode())
+            digest.update(b"i1" if self.infeasible else b"i0")
+            self._fingerprint_cache = digest.hexdigest()
         return self._fingerprint_cache
 
 

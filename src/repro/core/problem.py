@@ -13,6 +13,7 @@ circuit builder, and the control loop.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..sat.cnf import CNF
@@ -173,6 +174,38 @@ class ABProblem:
                 high if high is not None else default,
             )
         return box
+
+    # ------------------------------------------------------------------
+    # Canonical fingerprint
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Canonical content hash of the whole problem (hex, 32 chars).
+
+        Stable across processes and across presentation differences that do
+        not change the problem: clause order, literal order within a
+        clause, and the commutative/orientation normalizations of
+        :meth:`Constraint.fingerprint`.  Used as the shared cache key by
+        the verdict cache and the parallel worker session cache.
+
+        Recomputed per call — sessions mutate problems in place (push/pop
+        truncates the clause list directly), so no version counter can be
+        trusted here.  The per-``Expr`` digest memoization keeps the cost
+        at one pass over clause integers plus dictionary lookups.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(b"AB1;")
+        digest.update(str(self.cnf.num_vars).encode())
+        for clause in sorted(tuple(sorted(clause)) for clause in self.cnf.clauses):
+            digest.update(b";c")
+            digest.update(",".join(map(str, clause)).encode())
+        for var in sorted(self.definitions):
+            definition = self.definitions[var]
+            digest.update(f";d{var}:{definition.domain}:".encode())
+            digest.update(definition.constraint.fingerprint().encode())
+        for var in sorted(self.bounds):
+            low, high = self.bounds[var]
+            digest.update(f";b{var}:{low!r}:{high!r}".encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Model checking

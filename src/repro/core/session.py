@@ -411,6 +411,11 @@ class SolverSession:
                 on_lemma=self._on_lemma,
                 prior_incomplete=prior_incomplete,
                 poll=poll,
+                # Verdict-cache key: user-level literals only.  Activation
+                # literals are process-local bookkeeping; the asserted
+                # clauses they guard are already mirrored into
+                # ``self.problem.cnf`` and thus into the fingerprint.
+                cache_assumptions=tuple(assumptions),
             )
         if result.model is not None and self._act_set:
             boolean = {

@@ -201,6 +201,7 @@ class ABSolverConfig:
         use_presolve: bool = True,
         progress_monitor: Optional[object] = None,
         memory_profiler: Optional[object] = None,
+        verdict_cache: Optional[object] = None,
     ):
         self.boolean = boolean
         self.linear = linear
@@ -253,6 +254,12 @@ class ABSolverConfig:
         #: live profiler attributes sampled tracemalloc readings to every
         #: pipeline stage (``--profile-memory``).
         self.memory_profiler = memory_profiler
+        #: Optional :class:`repro.core.verdict_cache.VerdictCache`.  When
+        #: set, the pipeline consults it (keyed on the canonical problem
+        #: fingerprint plus assumptions) before stage 0 and records
+        #: completed verdicts, witness models, and definite lemmas on the
+        #: way out.  CLI: ``--verdict-cache`` / ``--verdict-cache-dir``.
+        self.verdict_cache = verdict_cache
 
 
 class ABSolver:

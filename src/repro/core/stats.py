@@ -77,6 +77,10 @@ class SolveStatistics:
         "presolve_rows_dropped",
         "presolve_units_emitted",
         "contractor_presolve_calls",
+        "intern_hits",
+        "verdict_cache_hits",
+        "verdict_cache_misses",
+        "verdict_cache_stores",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:

@@ -45,6 +45,8 @@ class ConfigSpec:
         "refuter_options",
         "seed",
         "use_presolve",
+        "verdict_cache",
+        "verdict_cache_dir",
         "label",
     )
 
@@ -64,6 +66,8 @@ class ConfigSpec:
         refuter_options: Optional[Dict[str, Any]] = None,
         seed: Optional[int] = None,
         use_presolve: bool = True,
+        verdict_cache: bool = False,
+        verdict_cache_dir: Optional[str] = None,
         label: str = "base",
     ):
         self.boolean = boolean
@@ -80,6 +84,12 @@ class ConfigSpec:
         self.refuter_options = dict(refuter_options or {})
         self.seed = seed
         self.use_presolve = use_presolve
+        #: Cross-query verdict cache: the live ``VerdictCache`` object is
+        #: unpicklable state, so the spec carries only the *request* — each
+        #: worker rebuilds its own instance, sharing results through the
+        #: cache directory when one is given.
+        self.verdict_cache = verdict_cache
+        self.verdict_cache_dir = verdict_cache_dir
         #: Human-readable portfolio label ("base", "difference", ...);
         #: shows up in stats, events, and the scaling bench tables.
         self.label = label
@@ -102,6 +112,10 @@ class ConfigSpec:
             refuter_options=getattr(config, "refuter_options", None),
             seed=getattr(config, "seed", None),
             use_presolve=getattr(config, "use_presolve", True),
+            verdict_cache=getattr(config, "verdict_cache", None) is not None,
+            verdict_cache_dir=getattr(
+                getattr(config, "verdict_cache", None), "directory", None
+            ),
             label=label,
         )
 
@@ -109,6 +123,11 @@ class ConfigSpec:
         """Rebuild a real ``ABSolverConfig`` inside the worker process."""
         from ..core.solver import ABSolverConfig
 
+        verdict_cache = None
+        if self.verdict_cache:
+            from ..core.verdict_cache import VerdictCache
+
+            verdict_cache = VerdictCache(directory=self.verdict_cache_dir)
         return ABSolverConfig(
             boolean=self.boolean,
             linear=self.linear,
@@ -124,6 +143,7 @@ class ConfigSpec:
             refuter_options=self.refuter_options,
             seed=self.seed,
             use_presolve=self.use_presolve,
+            verdict_cache=verdict_cache,
             tracer=tracer,
             event_bus=event_bus,
         )

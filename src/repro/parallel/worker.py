@@ -89,21 +89,17 @@ def _spec_fingerprint(spec) -> tuple:
         tuple(sorted(spec.refuter_options.items())),
         spec.seed,
         spec.use_presolve,
+        spec.verdict_cache,
+        spec.verdict_cache_dir,
     )
 
 
-def _problem_fingerprint(problem) -> tuple:
+def _problem_fingerprint(problem) -> str:
     """A hashable identity for the problem content (tasks arrive pickled,
-    so object identity never survives the process boundary)."""
-    return (
-        problem.cnf.num_vars,
-        tuple(tuple(clause) for clause in problem.cnf.clauses),
-        tuple(
-            (var, definition.domain, definition.constraint)
-            for var, definition in sorted(problem.definitions.items())
-        ),
-        tuple(sorted(problem.bounds.items())),
-    )
+    so object identity never survives the process boundary).  The canonical
+    content fingerprint is stable across processes and presentation
+    differences, so equivalent problems share one persistent session."""
+    return problem.fingerprint()
 
 
 def _session_for(task: SolveTask, tracer=None, bus=None) -> SolverSession:

@@ -1,0 +1,308 @@
+"""Hash-consing and canonical-fingerprint tests for the expression layer.
+
+Covers the interning invariants (structural equality => object identity,
+cached hashes, disabled mode), pickle round-trips through the intern
+table, fingerprint stability across argument orderings / constraint
+orientations / processes, and a differential sweep: 50+ random problems
+must produce identical verdicts and valid models with interning on and
+off.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.benchgen.randgen import planted_problem, random_linear_problem
+from repro.core import ABProblem, ABSolver, ABSolverConfig, ABStatus, parse_constraint
+from repro.core.expr import (
+    Add,
+    Call,
+    Const,
+    Constraint,
+    Mul,
+    Neg,
+    Relation,
+    Sub,
+    Var,
+    clear_intern_table,
+    intern_counters,
+    intern_table_size,
+    interning_enabled,
+    set_interning,
+)
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+@pytest.fixture
+def interning_on():
+    previous = set_interning(True)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+@pytest.fixture
+def interning_off():
+    previous = set_interning(False)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+class TestInterning:
+    def test_structurally_equal_nodes_are_identical(self, interning_on):
+        a = Add(Var("x"), Const(1))
+        b = Add(Var("x"), Const(1))
+        assert a is b
+        assert Var("x") is Var("x")
+        assert Const(2.5) is Const(2.5)
+
+    def test_distinct_nodes_are_distinct(self, interning_on):
+        assert Add(Var("x"), Const(1)) is not Add(Var("x"), Const(2))
+        assert Var("x") is not Var("y")
+
+    def test_int_and_float_consts_stay_distinct_objects(self, interning_on):
+        one_int = Const(1)
+        one_float = Const(1.0)
+        # Equal by value (historical semantics) but carrying different
+        # value types, so they must not collapse onto one node: exact
+        # arithmetic (int/Fraction payloads) would silently lose
+        # precision if a float node could shadow an exact one.
+        assert one_int == one_float
+        assert one_int is not one_float
+        assert isinstance(one_int.value, int)
+        assert isinstance(one_float.value, float)
+
+    def test_disabled_mode_builds_fresh_nodes(self, interning_off):
+        assert not interning_enabled()
+        a = Add(Var("x"), Const(1))
+        b = Add(Var("x"), Const(1))
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_set_interning_returns_previous(self):
+        previous = set_interning(False)
+        try:
+            assert set_interning(previous) is False
+        finally:
+            set_interning(previous)
+
+    def test_counters_and_table_size_advance(self, interning_on):
+        clear_intern_table()
+        before = intern_counters()
+        Add(Var("fresh_counter_var"), Const(17.25))
+        Add(Var("fresh_counter_var"), Const(17.25))
+        after = intern_counters()
+        assert after["misses"] > before["misses"]
+        assert after["hits"] > before["hits"]
+        assert intern_table_size() > 0
+
+    def test_invalid_constructions_still_raise(self, interning_on):
+        with pytest.raises(TypeError):
+            Pow_bad = Var("x") ** "not-a-number"  # noqa: F841
+        with pytest.raises(ValueError):
+            Call("unknown_function", Var("x"))
+
+    def test_hash_is_cached_and_stable(self, interning_on):
+        expr = Add(Mul(Const(2), Var("x")), Neg(Var("y")))
+        first = hash(expr)
+        assert hash(expr) == first
+        previous = set_interning(False)
+        try:
+            fresh = Add(Mul(Const(2), Var("x")), Neg(Var("y")))
+        finally:
+            set_interning(previous)
+        assert hash(fresh) == first
+        assert fresh == expr
+
+
+class TestPickleRoundTrip:
+    def test_unpickle_reuses_interned_nodes(self, interning_on):
+        expr = Add(Mul(Const(2), Var("x")), Const(1))
+        clone = pickle.loads(pickle.dumps(expr))
+        # Reconstruction goes through the interning constructor, so the
+        # round-trip lands on the very same node in this process.
+        assert clone is expr
+
+    def test_unpickle_preserves_shared_subterms(self, interning_on):
+        shared = Add(Var("x"), Const(1))
+        expr = Mul(shared, shared)
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone.lhs is clone.rhs
+
+    def test_unpickle_with_interning_off_still_equal(self, interning_off):
+        expr = Sub(Var("a"), Mul(Const(3), Var("b")))
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone is not expr
+        assert clone == expr
+        assert hash(clone) == hash(expr)
+
+    def test_constraint_round_trip(self, interning_on):
+        constraint = parse_constraint("2*x + y <= 7")
+        clone = pickle.loads(pickle.dumps(constraint))
+        assert clone == constraint
+        assert clone.lhs is constraint.lhs
+
+    def test_problem_round_trip_shares_intern_table(self, interning_on):
+        instance = planted_problem(seed=7)
+        clone = pickle.loads(pickle.dumps(instance.problem))
+        assert clone.fingerprint() == instance.problem.fingerprint()
+        for var, definition in clone.definitions.items():
+            original = instance.problem.definitions[var]
+            assert definition.constraint.lhs is original.constraint.lhs
+
+
+class TestFingerprints:
+    def test_commutative_orderings_agree(self, interning_on):
+        a, b = Var("a"), Var("b")
+        assert (a + b).fingerprint() == (b + a).fingerprint()
+        assert (a * b).fingerprint() == (b * a).fingerprint()
+        assert (a - b).fingerprint() == Neg(b - a).fingerprint()
+
+    def test_constant_folding_in_fingerprint(self, interning_on):
+        x = Var("x")
+        assert (x + Const(0)).fingerprint() == x.fingerprint()
+        assert (Const(2) + Const(3)).fingerprint() == Const(5).fingerprint()
+
+    def test_constraint_orientation_agrees(self, interning_on):
+        a, b = Var("a"), Var("b")
+        forward = Constraint(a, Relation.LT, b)
+        flipped = Constraint(b, Relation.GT, a)
+        rebased = Constraint(a - b, Relation.LT, Const(0))
+        assert forward.fingerprint() == flipped.fingerprint()
+        assert forward.fingerprint() == rebased.fingerprint()
+
+    def test_equality_orientation_agrees(self, interning_on):
+        a, b = Var("a"), Var("b")
+        assert (
+            Constraint(a, Relation.EQ, b).fingerprint()
+            == Constraint(b, Relation.EQ, a).fingerprint()
+        )
+
+    def test_inequivalent_constraints_differ(self, interning_on):
+        a, b = Var("a"), Var("b")
+        assert (
+            Constraint(a, Relation.LT, b).fingerprint()
+            != Constraint(a, Relation.LE, b).fingerprint()
+        )
+        assert (
+            Constraint(a, Relation.LT, b).fingerprint()
+            != Constraint(b, Relation.LT, a).fingerprint()
+        )
+
+    def test_problem_fingerprint_ignores_clause_order(self, interning_on):
+        def build(clause_order):
+            problem = ABProblem()
+            for clause in clause_order:
+                problem.add_clause(clause)
+            problem.define(1, "real", parse_constraint("x + y <= 4"))
+            problem.define(2, "real", parse_constraint("x - y >= 1"))
+            problem.set_bounds("x", -10, 10)
+            problem.set_bounds("y", -10, 10)
+            return problem
+
+        first = build([[1, 2], [-1, 2]])
+        second = build([[2, -1], [2, 1]])
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_problem_fingerprint_sees_content_changes(self, interning_on):
+        instance = planted_problem(seed=3)
+        base = instance.problem.fingerprint()
+        instance.problem.add_clause([1])
+        assert instance.problem.fingerprint() != base
+
+    def test_fingerprint_matches_interning_off(self):
+        def build():
+            problem = ABProblem()
+            problem.add_clause([1, 2])
+            problem.define(1, "real", parse_constraint("2*x + 3*y <= 12"))
+            problem.define(2, "real", parse_constraint("x - y > 0.5"))
+            problem.set_bounds("x", -4, 4)
+            return problem.fingerprint()
+
+        previous = set_interning(True)
+        try:
+            interned = build()
+            set_interning(False)
+            plain = build()
+        finally:
+            set_interning(previous)
+        assert interned == plain
+
+    def test_fingerprint_stable_across_processes(self, interning_on):
+        script = (
+            "from repro.core import ABProblem, parse_constraint\n"
+            "problem = ABProblem()\n"
+            "problem.add_clause([1, 2])\n"
+            "problem.add_clause([-2, 1])\n"
+            "problem.define(1, 'real', parse_constraint('2*x + 3*y <= 12'))\n"
+            "problem.define(2, 'real', parse_constraint('x - y > 0.5'))\n"
+            "problem.set_bounds('x', -4, 4)\n"
+            "print(problem.fingerprint())\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        outputs = set()
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(proc.stdout.strip())
+        # Stable across fresh interpreters (no reliance on salted string
+        # hashes) and identical to the in-process value.
+        problem = ABProblem()
+        problem.add_clause([1, 2])
+        problem.add_clause([-2, 1])
+        problem.define(1, "real", parse_constraint("2*x + 3*y <= 12"))
+        problem.define(2, "real", parse_constraint("x - y > 0.5"))
+        problem.set_bounds("x", -4, 4)
+        outputs.add(problem.fingerprint())
+        assert len(outputs) == 1
+
+
+class TestDifferentialSweep:
+    """Interned and non-interned runs must agree on 50+ random problems."""
+
+    PLANTED_SEEDS = range(100, 125)
+    RANDOM_SEEDS = range(500, 530)
+
+    @staticmethod
+    def _solve(builder, enabled):
+        previous = set_interning(enabled)
+        try:
+            problem = builder()
+            result = ABSolver(ABSolverConfig()).solve(problem)
+            return problem, result
+        finally:
+            set_interning(previous)
+
+    @pytest.mark.parametrize("seed", PLANTED_SEEDS)
+    def test_planted_problems_sat_both_modes(self, seed):
+        builder = lambda: planted_problem(seed=seed).problem  # noqa: E731
+        for enabled in (True, False):
+            problem, result = self._solve(builder, enabled)
+            assert result.status is ABStatus.SAT, (seed, enabled)
+            assert problem.check_model(result.model.boolean, result.model.theory)
+
+    @pytest.mark.parametrize("seed", RANDOM_SEEDS)
+    def test_random_problems_verdicts_agree(self, seed):
+        builder = lambda: random_linear_problem(seed=seed)  # noqa: E731
+        problem_on, interned = self._solve(builder, True)
+        problem_off, plain = self._solve(builder, False)
+        assert problem_on.fingerprint() == problem_off.fingerprint()
+        assert interned.status is plain.status, seed
+        if interned.status is ABStatus.SAT:
+            assert problem_on.check_model(
+                interned.model.boolean, interned.model.theory
+            )
+            assert problem_off.check_model(plain.model.boolean, plain.model.theory)

@@ -230,7 +230,11 @@ class TestSeedDeterminism:
             return {
                 key: value
                 for key, value in solver.stats.as_dict().items()
-                if not key.startswith("time_")
+                # Wall-clock and intern-table hits measure the process
+                # environment, not the seeded search: the first run
+                # populates the global hash-cons table, so an identical
+                # second run hits entries the first one created.
+                if not key.startswith("time_") and key != "intern_hits"
             }
 
         assert counters(7) == counters(7)
