@@ -236,6 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--verdict-cache",
     )
     parser.add_argument(
+        "--clause-decay",
+        type=float,
+        default=None,
+        metavar="F",
+        help="CDCL learned-clause activity decay factor in (0, 1]; smaller "
+        "forgets rarely-used learned clauses faster (kernel default: 0.999)",
+    )
+    parser.add_argument(
+        "--reduce-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="conflicts between CDCL clause-database reduction sweeps; "
+        "0 disables reduction (kernel default: 2000)",
+    )
+    parser.add_argument(
         "--minimize",
         metavar="EXPR",
         default=None,
@@ -388,6 +404,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         nonlinear=nonlinear,
         refine_conflicts=not args.no_refine,
         use_presolve=not args.no_presolve,
+        clause_decay=args.clause_decay,
+        reduce_interval=args.reduce_interval,
         verdict_cache=verdict_cache,
         tracer=tracer,
         event_bus=event_bus,

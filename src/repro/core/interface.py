@@ -116,8 +116,15 @@ class BooleanSolverInterface(abc.ABC):
         """One satisfying assignment, or None."""
 
     @abc.abstractmethod
-    def add_clause(self, literals: Sequence[int]) -> None:
-        """Add a (blocking/refinement) clause for subsequent solve calls."""
+    def add_clause(self, literals: Sequence[int], protected: bool = True) -> None:
+        """Add a (blocking/refinement) clause for subsequent solve calls.
+
+        ``protected`` clauses survive the CDCL kernel's clause-database
+        reduction unconditionally.  External adds default to protected
+        because blocking clauses are *not* implied by the formula — deleting
+        one would resurrect an already-enumerated model.  Pass
+        ``protected=False`` only for redundant lemmas that are safe to drop.
+        """
 
     def set_frozen_variables(self, variables: Sequence[int]) -> None:
         """Declare variables whose values carry external semantics.
@@ -187,33 +194,27 @@ class CDCLBooleanAdapter(BooleanSolverInterface):
         self._solver: Optional[CDCLSolver] = None
         #: Clauses received before the first solve (presolve unit emission
         #: happens before the solver instance exists); replayed at creation.
-        self._pending: List[List[int]] = []
+        self._pending: List[Tuple[List[int], bool]] = []
 
     def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
         if self._solver is None:
             self._solver = CDCLSolver(cnf, **self._options)
-            for clause in self._pending:
-                self._solver.add_clause(clause)
+            for clause, protected in self._pending:
+                self._solver.add_clause(clause, protected=protected)
             self._pending.clear()
         return self._solver.solve(assumptions)
 
-    def add_clause(self, literals: Sequence[int]) -> None:
+    def add_clause(self, literals: Sequence[int], protected: bool = True) -> None:
         if self._solver is None:
-            self._pending.append(list(literals))
+            self._pending.append((list(literals), protected))
             return
-        self._solver.add_clause(literals)
+        self._solver.add_clause(literals, protected=protected)
 
     @property
     def statistics(self) -> Dict[str, int]:
         if self._solver is None:
             return {}
-        return {
-            "conflicts": self._solver.conflicts,
-            "decisions": self._solver.decisions,
-            "propagations": self._solver.propagations,
-            "restarts": self._solver.restarts,
-            "learned_clauses": self._solver.learned_clauses,
-        }
+        return self._solver.counters()
 
 
 class PreprocessingCDCLAdapter(BooleanSolverInterface):
@@ -237,7 +238,7 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
         self._unsat = False
         #: Clauses received before the first solve; replayed through the
         #: preprocessing-aware :meth:`add_clause` once the solver exists.
-        self._pending: List[List[int]] = []
+        self._pending: List[Tuple[List[int], bool]] = []
 
     def set_frozen_variables(self, variables: Sequence[int]) -> None:
         self._frozen = set(variables)
@@ -260,8 +261,8 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
             self._solver = CDCLSolver(self._result.cnf, **self._options)
             pending = self._pending
             self._pending = []
-            for clause in pending:
-                self.add_clause(clause)
+            for clause, protected in pending:
+                self.add_clause(clause, protected=protected)
             if self._unsat:
                 return None
         # Assumptions must be translated through the preprocessing: forced
@@ -287,9 +288,9 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
             return None
         return self._result.extend_model(model)
 
-    def add_clause(self, literals: Sequence[int]) -> None:
+    def add_clause(self, literals: Sequence[int], protected: bool = True) -> None:
         if self._solver is None or self._result is None:
-            self._pending.append(list(literals))
+            self._pending.append((list(literals), protected))
             return
         # Literals over variables the preprocessor fixed at level 0 must be
         # evaluated here: a clause whose surviving literals are all
@@ -312,7 +313,13 @@ class PreprocessingCDCLAdapter(BooleanSolverInterface):
         if not remaining:
             self._unsat = True
             return
-        self._solver.add_clause(remaining)
+        self._solver.add_clause(remaining, protected=protected)
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        if self._solver is None:
+            return {}
+        return self._solver.counters()
 
 
 class DPLLBooleanAdapter(BooleanSolverInterface):
@@ -333,7 +340,8 @@ class DPLLBooleanAdapter(BooleanSolverInterface):
             self._pending.clear()
         return self._solver.solve(self._cnf, tuple(assumptions))
 
-    def add_clause(self, literals: Sequence[int]) -> None:
+    def add_clause(self, literals: Sequence[int], protected: bool = True) -> None:
+        # DPLL keeps no learned-clause database; ``protected`` is moot.
         if self._cnf is None:
             self._pending.append(list(literals))
             return
@@ -349,15 +357,25 @@ class LSATBooleanAdapter(BooleanSolverInterface):
         self._minimize = minimize
         self._options = options
         self._delegate = CDCLBooleanAdapter(**options)
+        self._last_enumerator: Optional[AllSATSolver] = None
 
     def solve(self, cnf: CNF, assumptions: Sequence[int] = ()) -> Optional[Assignment]:
         return self._delegate.solve(cnf, assumptions)
 
-    def add_clause(self, literals: Sequence[int]) -> None:
-        self._delegate.add_clause(literals)
+    def add_clause(self, literals: Sequence[int], protected: bool = True) -> None:
+        self._delegate.add_clause(literals, protected=protected)
 
     def all_models(self, cnf: CNF) -> Iterator[Assignment]:
-        return AllSATSolver(cnf, minimize=self._minimize).enumerate()
+        self._last_enumerator = AllSATSolver(cnf, minimize=self._minimize, **self._options)
+        return self._last_enumerator.enumerate()
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        stats = dict(self._delegate.statistics)
+        if self._last_enumerator is not None:
+            for key, value in self._last_enumerator.statistics.items():
+                stats[key] = stats.get(key, 0) + value
+        return stats
 
 
 # ----------------------------------------------------------------------

@@ -216,10 +216,16 @@ class CandidateGenerationStage(SolverStage):
 
     name = "boolean"
 
+    #: Kernel counters mirrored into :class:`SolveStatistics` after each
+    #: solve call (delta-synced, like ``warm_start_hits`` in the linear
+    #: stage, because the adapter reports cumulative totals).
+    _KERNEL_COUNTERS = ("heap_decisions", "clauses_reduced", "clauses_minimized_lits")
+
     def __init__(self, pipeline: "SolvePipeline", boolean: BooleanSolverInterface):
         self._pipeline = pipeline
         self._boolean = boolean
         self._cnf: Optional[CNF] = None
+        self._kernel_seen = {name: 0 for name in self._KERNEL_COUNTERS}
 
     @property
     def solver(self) -> BooleanSolverInterface:
@@ -245,10 +251,20 @@ class CandidateGenerationStage(SolverStage):
         ), pipeline.profiler.stage(self.name):
             alpha = self._boolean.solve(self._cnf, assumptions)
         stats.boolean_queries += 1
+        kernel_stats = getattr(self._boolean, "statistics", None)
+        if kernel_stats:
+            seen = self._kernel_seen
+            for name in self._KERNEL_COUNTERS:
+                total = kernel_stats.get(name, 0)
+                if total > seen[name]:
+                    setattr(stats, name, getattr(stats, name) + total - seen[name])
+                    seen[name] = total
         return alpha
 
     def block(self, clause: Sequence[int]) -> None:
-        self._boolean.add_clause(clause)
+        # Blocking clauses are not implied by the formula; mark them
+        # protected so clause-database reduction can never delete them.
+        self._boolean.add_clause(clause, protected=True)
 
     def reset(self) -> None:
         """No-op: the clause database stays valid across structural changes
@@ -680,6 +696,13 @@ class SolvePipeline:
         seed = getattr(config, "seed", None)
         if seed is not None and config.boolean in ("cdcl", "cdcl-pre", "lsat"):
             boolean_options.setdefault("seed", seed)
+        # Kernel tuning knobs ride the same path: config-level values are
+        # defaults the caller's explicit boolean_options still override.
+        if config.boolean in ("cdcl", "cdcl-pre", "lsat"):
+            for knob in ("clause_decay", "reduce_interval"):
+                value = getattr(config, knob, None)
+                if value is not None:
+                    boolean_options.setdefault(knob, value)
         boolean: BooleanSolverInterface = self.registry.create(
             DOMAIN_BOOLEAN, config.boolean, **boolean_options
         )

@@ -202,6 +202,8 @@ class ABSolverConfig:
         progress_monitor: Optional[object] = None,
         memory_profiler: Optional[object] = None,
         verdict_cache: Optional[object] = None,
+        clause_decay: Optional[float] = None,
+        reduce_interval: Optional[int] = None,
     ):
         self.boolean = boolean
         self.linear = linear
@@ -260,6 +262,16 @@ class ABSolverConfig:
         #: completed verdicts, witness models, and definite lemmas on the
         #: way out.  CLI: ``--verdict-cache`` / ``--verdict-cache-dir``.
         self.verdict_cache = verdict_cache
+        #: CDCL kernel tuning knobs.  ``clause_decay`` scales learned-clause
+        #: activities (smaller forgets faster); ``reduce_interval`` is the
+        #: conflict count between clause-database reduction sweeps (``0``
+        #: disables reduction entirely).  ``None`` keeps the kernel
+        #: defaults.  Like ``seed`` they only reach CDCL-family Boolean
+        #: engines (``cdcl``, ``cdcl-pre``, ``lsat``) and explicit
+        #: ``boolean_options`` entries win.  CLI: ``--clause-decay`` /
+        #: ``--reduce-interval``.
+        self.clause_decay = clause_decay
+        self.reduce_interval = reduce_interval
 
 
 class ABSolver:
@@ -316,33 +328,57 @@ class ABSolver:
         boolean = pipeline.candidate.solver
         domains = problem.variable_domains()
 
+        enumerator: Optional[AllSATSolver] = None
         if boolean.supports_all_models:
-            models: Iterator[Assignment] = AllSATSolver(
-                problem.cnf, minimize=False
-            ).enumerate()
+            kernel_options = {}
+            for knob in ("seed", "clause_decay", "reduce_interval"):
+                value = getattr(self.config, knob, None)
+                if value is not None:
+                    kernel_options[knob] = value
+            enumerator = AllSATSolver(problem.cnf, minimize=False, **kernel_options)
+            models: Iterator[Assignment] = enumerator.enumerate()
         else:
             models = self._iterate_with_bookkeeping(boolean, problem)
 
         seen: Set[ABModel] = set()
         produced = 0
-        for alpha in models:
-            self.stats.models_enumerated += 1
-            verdict = pipeline.check_candidate(problem, alpha, domains)
-            if verdict.feasible:
-                model = ABModel(alpha, verdict.theory_model or {})
-                if model in seen:
-                    continue
-                seen.add(model)
-                yield model
-                produced += 1
-                if limit is not None and produced >= limit:
-                    return
+        try:
+            for alpha in models:
+                self.stats.models_enumerated += 1
+                verdict = pipeline.check_candidate(problem, alpha, domains)
+                if verdict.feasible:
+                    model = ABModel(alpha, verdict.theory_model or {})
+                    if model in seen:
+                        continue
+                    seen.add(model)
+                    yield model
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+        finally:
+            if enumerator is not None:
+                self._absorb_kernel_counters(enumerator.statistics)
+
+    def _absorb_kernel_counters(self, kernel_stats: Dict[str, int]) -> None:
+        """Fold a kernel's cumulative counters into this run's statistics."""
+        for name in ("heap_decisions", "clauses_reduced", "clauses_minimized_lits"):
+            value = kernel_stats.get(name, 0)
+            if value:
+                setattr(self.stats, name, getattr(self.stats, name) + value)
 
     def _iterate_with_bookkeeping(
         self, boolean: BooleanSolverInterface, problem: ABProblem
     ) -> Iterator[Assignment]:
         """ABsolver's internal bookkeeping for non-all-SAT solvers."""
         seen: set = set()
+        try:
+            yield from self._bookkeeping_loop(boolean, problem, seen)
+        finally:
+            self._absorb_kernel_counters(getattr(boolean, "statistics", {}) or {})
+
+    def _bookkeeping_loop(
+        self, boolean: BooleanSolverInterface, problem: ABProblem, seen: set
+    ) -> Iterator[Assignment]:
         while True:
             alpha = boolean.solve(problem.cnf)
             self.stats.boolean_queries += 1
@@ -363,4 +399,4 @@ class ABSolver:
             blocking = [(-var if value else var) for var, value in alpha.items()]
             if not blocking:
                 return
-            boolean.add_clause(blocking)
+            boolean.add_clause(blocking, protected=True)

@@ -81,6 +81,9 @@ class SolveStatistics:
         "verdict_cache_hits",
         "verdict_cache_misses",
         "verdict_cache_stores",
+        "heap_decisions",
+        "clauses_reduced",
+        "clauses_minimized_lits",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:

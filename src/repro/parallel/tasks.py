@@ -44,6 +44,8 @@ class ConfigSpec:
         "nonlinear_options",
         "refuter_options",
         "seed",
+        "clause_decay",
+        "reduce_interval",
         "use_presolve",
         "verdict_cache",
         "verdict_cache_dir",
@@ -65,6 +67,8 @@ class ConfigSpec:
         nonlinear_options: Optional[Dict[str, Any]] = None,
         refuter_options: Optional[Dict[str, Any]] = None,
         seed: Optional[int] = None,
+        clause_decay: Optional[float] = None,
+        reduce_interval: Optional[int] = None,
         use_presolve: bool = True,
         verdict_cache: bool = False,
         verdict_cache_dir: Optional[str] = None,
@@ -83,6 +87,10 @@ class ConfigSpec:
         self.nonlinear_options = dict(nonlinear_options or {})
         self.refuter_options = dict(refuter_options or {})
         self.seed = seed
+        #: CDCL kernel knobs, mirrored from ``ABSolverConfig`` — portfolio
+        #: variants diversify over these alongside ``seed``.
+        self.clause_decay = clause_decay
+        self.reduce_interval = reduce_interval
         self.use_presolve = use_presolve
         #: Cross-query verdict cache: the live ``VerdictCache`` object is
         #: unpicklable state, so the spec carries only the *request* — each
@@ -111,6 +119,8 @@ class ConfigSpec:
             nonlinear_options=config.nonlinear_options,
             refuter_options=getattr(config, "refuter_options", None),
             seed=getattr(config, "seed", None),
+            clause_decay=getattr(config, "clause_decay", None),
+            reduce_interval=getattr(config, "reduce_interval", None),
             use_presolve=getattr(config, "use_presolve", True),
             verdict_cache=getattr(config, "verdict_cache", None) is not None,
             verdict_cache_dir=getattr(
@@ -142,6 +152,8 @@ class ConfigSpec:
             nonlinear_options=self.nonlinear_options,
             refuter_options=self.refuter_options,
             seed=self.seed,
+            clause_decay=self.clause_decay,
+            reduce_interval=self.reduce_interval,
             use_presolve=self.use_presolve,
             verdict_cache=verdict_cache,
             tracer=tracer,

@@ -42,7 +42,14 @@ class AllSATSolver:
         projection: Optional[Iterable[int]] = None,
         minimize: bool = True,
         max_models: Optional[int] = None,
+        **solver_options,
     ):
+        #: Extra keyword options forwarded to the internal
+        #: :class:`~repro.sat.cdcl.CDCLSolver` (``seed``, ``reduce_interval``,
+        #: ``clause_decay``, ...) so enumeration benefits from — and stays
+        #: reproducible under — the same kernel knobs as single-model solving.
+        self._solver_options = dict(solver_options)
+        self._solver: Optional[CDCLSolver] = None
         self._cnf = cnf.copy()
         self._projection = sorted(projection) if projection is not None else list(
             range(1, cnf.num_vars + 1)
@@ -65,7 +72,8 @@ class AllSATSolver:
         With ``minimize`` on, yielded assignments may be partial: variables
         absent from the dict are don't-cares (any value extends to a model).
         """
-        solver = CDCLSolver(self._cnf)
+        solver = CDCLSolver(self._cnf, **self._solver_options)
+        self._solver = solver
         while True:
             if self._max_models is not None and self.models_found >= self._max_models:
                 return
@@ -81,7 +89,17 @@ class AllSATSolver:
             if not blocking:
                 return  # a model with no projected vars blocks everything
             self._blocking.append(blocking)
-            solver.add_clause(blocking)
+            # Blocking clauses are not implied by the formula — they must be
+            # protected from the kernel's clause-database reduction, or a
+            # sweep could resurrect an already-reported model.
+            solver.add_clause(blocking, protected=True)
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        """Kernel counters of the enumeration solver (empty before use)."""
+        if self._solver is None:
+            return {}
+        return self._solver.counters()
 
     # ------------------------------------------------------------------
     def _shrink(self, model: Assignment, total_model: Assignment) -> Assignment:

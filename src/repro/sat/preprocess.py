@@ -155,26 +155,38 @@ class Preprocessor:
     def _propagate_units(
         self, clauses: List[FrozenSet[int]], forced: Dict[int, bool]
     ) -> Optional[Tuple[List[FrozenSet[int]], bool]]:
+        """Batched unit propagation to fixpoint.
+
+        Each round collects *every* unit clause, then applies the whole
+        batch in a single pass over the clause list — one rebuild per
+        round instead of one per unit, so a Tseitin-style cascade of k
+        units costs O(rounds * clauses) rather than O(k * clauses).
+        """
         changed = False
         while True:
-            unit: Optional[int] = None
+            units: Set[int] = set()
             for clause in clauses:
                 if len(clause) == 1:
-                    unit = next(iter(clause))
-                    break
-            if unit is None:
+                    literal = next(iter(clause))
+                    if -literal in units:
+                        return None  # complementary units: contradiction
+                    units.add(literal)
+            if not units:
                 return clauses, changed
             changed = True
-            var, value = abs(unit), unit > 0
-            if forced.get(var, value) != value:
-                return None
-            forced[var] = value
+            for literal in units:
+                var, value = abs(literal), literal > 0
+                if forced.get(var, value) != value:
+                    return None
+                forced[var] = value
+            negated = {-literal for literal in units}
             next_clauses: List[FrozenSet[int]] = []
             for clause in clauses:
-                if unit in clause:
-                    continue
-                if -unit in clause:
-                    reduced = clause - {-unit}
+                if clause & units:
+                    continue  # satisfied by a unit
+                falsified = clause & negated
+                if falsified:
+                    reduced = clause - falsified
                     if not reduced:
                         return None
                     next_clauses.append(reduced)

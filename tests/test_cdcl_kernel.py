@@ -1,0 +1,224 @@
+"""Differential sweep for the overhauled CDCL kernel.
+
+The kernel rewrite (heap VSIDS, blocker watches, LBD clause-database
+reduction, learned-clause minimization) must not change *what* the solver
+answers — only how fast.  These tests pit the kernel, with reduction
+deliberately cranked up to fire constantly, against the naive DPLL solver
+on hundreds of random formulas, and check the enumeration/blocking and
+reproducibility contracts the pipeline relies on.
+"""
+
+import random
+
+import pytest
+
+from repro.sat.allsat import AllSATSolver
+from repro.sat.cdcl import CDCLSolver
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+
+#: Kernel knobs that force reduction sweeps to trigger on tiny formulas.
+AGGRESSIVE = dict(reduce_interval=3, restart_base=5, seed=7)
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> CNF:
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clause = [var if rng.random() < 0.5 else -var for var in variables]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def check_model(cnf: CNF, model) -> None:
+    for clause in cnf.clauses:
+        assert any(
+            model.get(abs(literal), False) == (literal > 0) for literal in clause
+        ), f"clause {clause} unsatisfied by {model}"
+
+
+def pigeonhole(pigeons: int, holes: int) -> CNF:
+    """PHP(p, h): UNSAT for p > h, and resolution-hard — a conflict mill."""
+    cnf = CNF(pigeons * holes)
+    var = lambda i, j: i * holes + j + 1
+    for i in range(pigeons):
+        cnf.add_clause([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                cnf.add_clause([-var(i1, j), -var(i2, j)])
+    return cnf
+
+
+def brute_force_models(cnf: CNF):
+    """All total models of a (small) CNF as a set of frozensets."""
+    models = set()
+    for bits in range(1 << cnf.num_vars):
+        model = {var: bool(bits >> (var - 1) & 1) for var in range(1, cnf.num_vars + 1)}
+        if all(
+            any(model[abs(l)] == (l > 0) for l in clause) for clause in cnf.clauses
+        ):
+            models.add(frozenset(model.items()))
+    return models
+
+
+class TestDifferentialVerdicts:
+    def test_verdict_agreement_200_random_cnfs(self):
+        """CDCL with constant reduction agrees with DPLL on 200 formulas."""
+        rng = random.Random(20260808)
+        for trial in range(200):
+            num_vars = rng.randint(3, 12)
+            cnf = random_cnf(rng, num_vars, rng.randint(num_vars, 4 * num_vars))
+            expected = solve_dpll(cnf) is not None
+            solver = CDCLSolver(cnf, **AGGRESSIVE)
+            model = solver.solve()
+            assert (model is not None) == expected, f"trial {trial} disagrees"
+            if model is not None:
+                check_model(cnf, model)
+
+    def test_assumption_agreement(self):
+        """Incremental solve-under-assumptions matches DPLL on each cube."""
+        rng = random.Random(99)
+        for trial in range(60):
+            num_vars = rng.randint(4, 10)
+            cnf = random_cnf(rng, num_vars, rng.randint(num_vars, 3 * num_vars))
+            solver = CDCLSolver(cnf, **AGGRESSIVE)
+            # several assumption cubes against ONE persistent solver — this
+            # is where stale learned-clause deletion would show up.
+            for _ in range(5):
+                cube = tuple(
+                    var if rng.random() < 0.5 else -var
+                    for var in rng.sample(range(1, num_vars + 1), rng.randint(0, 3))
+                )
+                expected = solve_dpll(cnf, cube) is not None
+                model = solver.solve(assumptions=cube)
+                assert (model is not None) == expected, (trial, cube)
+                if model is not None:
+                    check_model(cnf, model)
+                    for literal in cube:
+                        assert model[abs(literal)] == (literal > 0)
+
+
+class TestEnumerationUnderReduction:
+    def test_all_models_set_equality_across_sweeps(self):
+        """Protected blocking clauses survive reduction: the enumerated model
+        set equals brute force exactly, with no repeats and no gaps."""
+        rng = random.Random(4242)
+        for trial in range(40):
+            num_vars = rng.randint(3, 8)
+            cnf = random_cnf(rng, num_vars, rng.randint(num_vars, 3 * num_vars))
+            expected = brute_force_models(cnf)
+            enumerator = AllSATSolver(cnf, minimize=False, **AGGRESSIVE)
+            got = [frozenset(m.items()) for m in enumerator.enumerate()]
+            assert len(got) == len(set(got)), f"trial {trial}: repeated model"
+            assert set(got) == expected, f"trial {trial}: model set mismatch"
+
+    def test_reduction_on_vs_off_same_model_set(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            cnf = random_cnf(rng, 7, 18)
+            on = {
+                frozenset(m.items())
+                for m in AllSATSolver(cnf, minimize=False, **AGGRESSIVE).enumerate()
+            }
+            off = {
+                frozenset(m.items())
+                for m in AllSATSolver(
+                    cnf, minimize=False, reduce_interval=0
+                ).enumerate()
+            }
+            assert on == off
+
+    def test_reduction_actually_fires(self):
+        """The aggressive knobs really do exercise the reduction sweep (so
+        the differential tests above are not vacuous).  Pigeonhole formulas
+        guarantee a steady conflict stream."""
+        cnf = pigeonhole(5, 4)
+        solver = CDCLSolver(cnf, **AGGRESSIVE)
+        assert solver.solve() is None  # 5 pigeons cannot fit 4 holes
+        counters = solver.counters()
+        assert counters["conflicts"] > 0
+        assert counters["clauses_reduced"] > 0
+        assert counters["reductions"] > 0
+
+
+class TestKernelContracts:
+    def test_same_seed_counter_reproducibility(self):
+        rng = random.Random(555)
+        for _ in range(10):
+            cnf = random_cnf(rng, 12, 50)
+
+            def run():
+                solver = CDCLSolver(cnf, reduce_interval=5, restart_base=4, seed=11)
+                models = []
+                for _ in range(6):
+                    model = solver.solve()
+                    if model is None:
+                        break
+                    models.append(frozenset(model.items()))
+                    solver.add_clause(
+                        [(-v if b else v) for v, b in model.items()], protected=True
+                    )
+                return models, solver.counters()
+
+            models_a, counters_a = run()
+            models_b, counters_b = run()
+            assert models_a == models_b
+            assert counters_a == counters_b
+
+    def test_counters_exposed(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 3])
+        solver = CDCLSolver(cnf, seed=1)
+        assert solver.solve() is not None
+        counters = solver.counters()
+        for key in (
+            "decisions",
+            "heap_decisions",
+            "clauses_reduced",
+            "clauses_minimized_lits",
+            "conflicts",
+            "learned_clauses",
+        ):
+            assert key in counters
+
+    def test_learned_clause_count_bounded_by_reduction(self):
+        """With reduction on, the live learned-clause count stays below the
+        total ever learned; with reduction off they coincide."""
+        cnf = pigeonhole(6, 5)
+
+        def solve_with(reduce_interval):
+            solver = CDCLSolver(
+                cnf, reduce_interval=reduce_interval, restart_base=5, seed=3
+            )
+            assert solver.solve() is None
+            return solver
+
+        reduced = solve_with(4)
+        unreduced = solve_with(0)
+        assert unreduced.learned_live == unreduced.learned_clauses
+        assert reduced.counters()["clauses_reduced"] > 0
+        assert reduced.learned_live < reduced.learned_clauses
+
+    def test_protected_default_on_add_clause(self):
+        """External adds are protected by default — a sweep never deletes
+        them even when they look like high-LBD junk."""
+        cnf = CNF(6)
+        cnf.add_clause([1, 2, 3, 4, 5, 6])
+        solver = CDCLSolver(cnf, reduce_interval=1, restart_base=2, seed=2)
+        blocked = []
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            key = frozenset(model.items())
+            assert key not in blocked, "a deleted blocking clause resurfaced a model"
+            blocked.append(key)
+            solver.add_clause([(-v if b else v) for v, b in model.items()])
+        assert len(blocked) == 63  # 2^6 - 1 (all-false violates the clause)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -47,6 +47,9 @@ DEFAULT_COUNTERS = (
     "blocking_clauses",
     "equality_splits",
     "models_enumerated",
+    # CDCL kernel decisions: same workload + same seed should not need
+    # more branching after a kernel change.
+    "heap_decisions",
 )
 
 
